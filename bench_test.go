@@ -1,0 +1,181 @@
+// Benchmarks regenerating the paper's evaluation: one BenchE<n> per
+// experiment (see DESIGN.md §4 for the index, EXPERIMENTS.md for the
+// recorded series), plus micro-benchmarks of the substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The full tables are printed by cmd/axmlbench.
+package axml
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/activexml/axml/internal/bench"
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/fguide"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/rewrite"
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/workload"
+)
+
+// benchExperiment runs one harness experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("no experiment %s", id)
+	}
+	scale := bench.Quick()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(scale); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1StrategiesAcrossSizes(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2LatencySweep(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3QueryPushing(b *testing.B)          { benchExperiment(b, "E3") }
+func BenchmarkE4FGuideDetection(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5LayeringParallelism(b *testing.B)   { benchExperiment(b, "E5") }
+func BenchmarkE6ExactVsLenientTypes(b *testing.B)   { benchExperiment(b, "E6") }
+func BenchmarkE7JoinRelaxation(b *testing.B)        { benchExperiment(b, "E7") }
+func BenchmarkE8HTTPEndToEnd(b *testing.B)          { benchExperiment(b, "E8") }
+
+// BenchmarkStrategies reports per-strategy evaluation cost and the
+// calls-invoked metric on the default world — the quantities behind E1,
+// as custom benchmark metrics.
+func BenchmarkStrategies(b *testing.B) {
+	for _, opt := range []core.Options{
+		{Strategy: core.NaiveFixpoint},
+		{Strategy: core.LazyLPQ},
+		{Strategy: core.LazyNFQ},
+		{Strategy: core.LazyNFQTyped},
+		{Strategy: core.LazyNFQTyped, Layering: true, Parallel: true, UseGuide: true},
+	} {
+		name := opt.Strategy.String()
+		if opt.UseGuide {
+			name += "+layer+par+guide"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := workload.Hotels(workload.DefaultSpec())
+			o := opt
+			if o.Strategy == core.LazyNFQTyped {
+				o.Schema = w.Schema
+			}
+			b.ReportAllocs()
+			var calls, virt int64
+			for i := 0; i < b.N; i++ {
+				out, err := core.Evaluate(w.Doc.Clone(), w.Query, w.Registry, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				calls += int64(out.Stats.CallsInvoked)
+				virt += int64(out.Stats.VirtualTime)
+			}
+			b.ReportMetric(float64(calls)/float64(b.N), "calls/op")
+			b.ReportMetric(float64(virt)/float64(b.N)/1e6, "virt-ms/op")
+		})
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkPatternEval(b *testing.B) {
+	for _, bulk := range []int{0, 50} {
+		b.Run(fmt.Sprintf("bulk=%d", bulk), func(b *testing.B) {
+			spec := workload.DefaultSpec()
+			spec.MaterializedRestos = bulk
+			w := workload.Hotels(spec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pattern.Eval(w.Doc, w.Query)
+			}
+		})
+	}
+}
+
+func BenchmarkNFQGeneration(b *testing.B) {
+	w := workload.Hotels(workload.DefaultSpec())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.BuildAll(w.Query, rewrite.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSatisfiabilityAnalysis(b *testing.B) {
+	for _, mode := range []schema.Mode{schema.Exact, schema.Lenient} {
+		name := "exact"
+		if mode == schema.Lenient {
+			name = "lenient"
+		}
+		b.Run(name, func(b *testing.B) {
+			spec := workload.DefaultSpec()
+			spec.TeaserKinds = 8
+			w := workload.Hotels(spec)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schema.NewAnalyzer(w.Schema, w.Query, mode)
+			}
+		})
+	}
+}
+
+func BenchmarkFGuideBuild(b *testing.B) {
+	spec := workload.DefaultSpec()
+	spec.Hotels = 200
+	w := workload.Hotels(spec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fguide.Build(w.Doc)
+	}
+}
+
+func BenchmarkFGuideCandidates(b *testing.B) {
+	spec := workload.DefaultSpec()
+	spec.Hotels = 200
+	w := workload.Hotels(spec)
+	g := fguide.Build(w.Doc)
+	nfqs, err := rewrite.BuildAll(w.Query, rewrite.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nfq := range nfqs {
+			g.Candidates(nfq.Lin, nfq.DescTail)
+		}
+	}
+}
+
+func BenchmarkDocumentCodec(b *testing.B) {
+	w := workload.Hotels(workload.DefaultSpec())
+	data, err := MarshalDocument(w.Doc.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := MarshalDocument(w.Doc.Root); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ParseDocument(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,70 @@
+// Command axmlbench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	axmlbench                # run every experiment at full scale
+//	axmlbench -exp E3        # run one experiment
+//	axmlbench -quick         # small sweeps (the test/benchmark scale)
+//	axmlbench -list          # list experiments
+//
+// Each experiment prints an aligned table; see DESIGN.md §4 for what each
+// one reproduces and EXPERIMENTS.md for recorded runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/activexml/axml/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("axmlbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp   = fs.String("exp", "", "run a single experiment (E1..E8)")
+		quick = fs.Bool("quick", false, "use the small test-scale sweeps")
+		list  = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+	scale := bench.Full()
+	if *quick {
+		scale = bench.Quick()
+	}
+	experiments := bench.All()
+	if *exp != "" {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(stderr, "axmlbench: unknown experiment %q (use -list)\n", *exp)
+			return 2
+		}
+		experiments = []bench.Experiment{e}
+	}
+	for i, e := range experiments {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		table, err := e.Run(scale)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlbench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprint(stdout, table)
+	}
+	return 0
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, id := range []string{"E1", "E8"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list misses %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestSingleExperimentQuick(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-exp", "E2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "speedup") {
+		t.Fatalf("E2 table missing:\n%s", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "E99"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Fatalf("stderr: %s", errOut.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,209 @@
+// Command axmlquery evaluates a tree-pattern query over an AXML document,
+// resolving embedded service calls lazily.
+//
+// Usage:
+//
+//	axmlquery -doc doc.xml -query '/hotels/hotel[name="Best Western"]//restaurant[name=$X] -> $X' \
+//	          [-strategy lazy-nfq-typed] [-schema schema.txt] [-provider http://host:port] \
+//	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml]
+//
+// Services are resolved against a remote provider (-provider, see
+// axmlserver) or, without one, against the built-in demo registry of the
+// hotels scenario. The final document state (the materialised relevant
+// parts) can be written with -out; the query results print to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/activexml/axml/internal/construct"
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+var strategies = map[string]core.Strategy{
+	"naive":          core.NaiveFixpoint,
+	"eager":          core.TopDownEager,
+	"lazy-lpq":       core.LazyLPQ,
+	"lazy-nfq":       core.LazyNFQ,
+	"lazy-nfq-typed": core.LazyNFQTyped,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("axmlquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		docPath    = fs.String("doc", "", "AXML document file (required)")
+		queryText  = fs.String("query", "", "tree-pattern query (required)")
+		strategy   = fs.String("strategy", "lazy-nfq", "naive|eager|lazy-lpq|lazy-nfq|lazy-nfq-typed")
+		schemaPath = fs.String("schema", "", "service-signature schema file (enables typed pruning)")
+		provider   = fs.String("provider", "", "remote provider base URL (default: built-in demo services)")
+		push       = fs.Bool("push", false, "push subqueries to capable services")
+		layer      = fs.Bool("layer", false, "enable NFQ layering")
+		parallel   = fs.Bool("parallel", false, "invoke independent call sets in parallel")
+		guide      = fs.Bool("guide", false, "use an F-guide for relevance detection")
+		relax      = fs.Bool("relax-joins", false, "relax value joins in relevance queries")
+		maxCalls   = fs.Int("max-calls", 0, "invocation budget (0 = default)")
+		stats      = fs.Bool("stats", false, "print evaluation statistics")
+		explain    = fs.Bool("explain", false, "trace layers, relevance detection and invocations to stderr")
+		tmplText   = fs.String("template", "", "render results through an XML template with {$X} placeholders")
+		outPath    = fs.String("out", "", "write the materialised document here")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *docPath == "" || *queryText == "" {
+		fmt.Fprintln(stderr, "axmlquery: -doc and -query are required")
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(context string, err error) int {
+		fmt.Fprintf(stderr, "axmlquery: %s: %v\n", context, err)
+		return 1
+	}
+
+	data, err := os.ReadFile(*docPath)
+	if err != nil {
+		return fail("read document", err)
+	}
+	doc, err := tree.Unmarshal(data)
+	if err != nil {
+		return fail("parse document", err)
+	}
+	q, err := pattern.Parse(*queryText)
+	if err != nil {
+		return fail("parse query", err)
+	}
+
+	st, ok := strategies[*strategy]
+	if !ok {
+		return fail("options", fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	opt := core.Options{
+		Strategy: st, Push: *push, Layering: *layer, Parallel: *parallel,
+		UseGuide: *guide, RelaxJoins: *relax, MaxCalls: *maxCalls,
+	}
+	if *explain {
+		opt.Trace = func(e core.TraceEvent) { fmt.Fprintln(stderr, e) }
+	}
+	if *schemaPath != "" {
+		sdata, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			return fail("read schema", err)
+		}
+		sch, err := schema.Parse(string(sdata))
+		if err != nil {
+			return fail("parse schema", err)
+		}
+		opt.Schema = sch
+		if st == core.LazyNFQ {
+			opt.Strategy = core.LazyNFQTyped
+		}
+	}
+
+	var reg *service.Registry
+	if *provider != "" {
+		client := &soap.Client{BaseURL: *provider}
+		reg, err = client.RegistryFor()
+		if err != nil {
+			return fail("describe provider", err)
+		}
+		opt.Clock = service.NewWallClock(false)
+	} else {
+		reg = workload.Hotels(workload.DefaultSpec()).Registry
+	}
+
+	out, err := core.Evaluate(doc, q, reg, opt)
+	if err != nil {
+		return fail("evaluate", err)
+	}
+
+	if *tmplText != "" {
+		tmpl, err := construct.ParseTemplate(*tmplText)
+		if err != nil {
+			return fail("parse template", err)
+		}
+		built, err := construct.Document("results", tmpl, out.Results)
+		if err != nil {
+			return fail("construct results", err)
+		}
+		b, err := tree.MarshalIndent(built.Root)
+		if err != nil {
+			return fail("marshal results", err)
+		}
+		fmt.Fprintf(stdout, "%s\n", b)
+	} else {
+		printResults(stdout, out)
+	}
+	if !out.Complete {
+		fmt.Fprintln(stderr, "warning: call budget exhausted before completeness")
+	}
+	if *stats {
+		printStats(stderr, out.Stats)
+	}
+	if *outPath != "" {
+		b, err := tree.MarshalIndent(doc.Root)
+		if err != nil {
+			return fail("marshal document", err)
+		}
+		if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+			return fail("write document", err)
+		}
+	}
+	return 0
+}
+
+func printResults(w io.Writer, out *core.Outcome) {
+	fmt.Fprintf(w, "%d result(s)\n", len(out.Results))
+	for i, r := range out.Results {
+		var parts []string
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("$%s=%q", k, r.Values[k]))
+		}
+		ids := make([]int, 0, len(r.Nodes))
+		for id := range r.Nodes {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			parts = append(parts, r.Nodes[id].String())
+		}
+		fmt.Fprintf(w, "%3d. %s\n", i+1, strings.Join(parts, "  "))
+	}
+}
+
+func printStats(w io.Writer, st core.Stats) {
+	fmt.Fprintf(w, `stats:
+  calls invoked:      %d (pushed: %d)
+  rounds:             %d
+  relevance queries:  %d
+  guide candidates:   %d
+  bytes fetched:      %d
+  virtual time:       %v
+  detection time:     %v
+  analysis time:      %v
+  final doc size:     %d nodes
+`, st.CallsInvoked, st.PushedCalls, st.Rounds, st.RelevanceQueries,
+		st.GuideCandidates, st.BytesFetched, st.VirtualTime, st.DetectTime,
+		st.AnalysisTime, st.FinalSize)
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+// writeWorldDoc dumps the demo world's document to a temp file and
+// returns its path.
+func writeWorldDoc(t *testing.T) string {
+	t.Helper()
+	w := workload.Hotels(workload.DefaultSpec())
+	b, err := tree.MarshalIndent(w.Doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.axml")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testQuery = `/hotels/hotel[name="Best Western"][rating="*****"]/nearby//restaurant[rating="*****"][name=$X] -> $X`
+
+func TestQueryAgainstBuiltinServices(t *testing.T) {
+	doc := writeWorldDoc(t)
+	outPath := filepath.Join(t.TempDir(), "out.axml")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-doc", doc, "-query", testQuery, "-strategy", "lazy-nfq",
+		"-stats", "-out", outPath,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "result(s)") || !strings.Contains(out.String(), "Resto-0-0") {
+		t.Fatalf("results missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "calls invoked") {
+		t.Fatalf("stats missing:\n%s", errOut.String())
+	}
+	// The materialised document was written and reparses.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Unmarshal(data); err != nil {
+		t.Fatalf("written document invalid: %v", err)
+	}
+}
+
+func TestQueryWithSchemaFile(t *testing.T) {
+	doc := writeWorldDoc(t)
+	schemaPath := filepath.Join(t.TempDir(), "schema.txt")
+	w := workload.Hotels(workload.DefaultSpec())
+	if err := os.WriteFile(schemaPath, []byte(w.Schema.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-doc", doc, "-query", testQuery, "-schema", schemaPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+}
+
+func TestQueryAgainstProvider(t *testing.T) {
+	w := workload.Hotels(workload.DefaultSpec())
+	srv := httptest.NewServer(soap.NewServer(w.Registry, false))
+	defer srv.Close()
+	doc := writeWorldDoc(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-doc", doc, "-query", testQuery, "-provider", srv.URL, "-layer"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "24 result(s)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	doc := writeWorldDoc(t)
+	cases := map[string][]string{
+		"missing args":     {},
+		"bad doc":          {"-doc", "/nonexistent", "-query", testQuery},
+		"bad query":        {"-doc", doc, "-query", "[[["},
+		"bad strategy":     {"-doc", doc, "-query", testQuery, "-strategy", "wrong"},
+		"bad schema path":  {"-doc", doc, "-query", testQuery, "-schema", "/nonexistent"},
+		"bad provider url": {"-doc", doc, "-query", testQuery, "-provider", "http://127.0.0.1:1"},
+	}
+	for name, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Errorf("%s: expected failure", name)
+		}
+	}
+}
+
+func TestBudgetWarning(t *testing.T) {
+	doc := writeWorldDoc(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-doc", doc, "-query", testQuery, "-strategy", "naive", "-max-calls", "2"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "budget exhausted") {
+		t.Fatalf("missing warning: %s", errOut.String())
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	doc := writeWorldDoc(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-doc", doc, "-query", testQuery, "-layer", "-explain"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"detect", "invoke", "getNearbyRestos"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("explain output misses %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+func TestTemplateOutput(t *testing.T) {
+	doc := writeWorldDoc(t)
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-doc", doc, "-query", testQuery,
+		"-template", `<pick>{$X}</pick>`,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "<results>") || !strings.Contains(out.String(), "<pick>Resto-0-0</pick>") {
+		t.Fatalf("template output:\n%s", out.String())
+	}
+	// Bad template errors.
+	if code := run([]string{"-doc", doc, "-query", testQuery, "-template", "<<<"}, &out, &errOut); code == 0 {
+		t.Fatal("bad template accepted")
+	}
+	// Template referencing an unbound variable errors.
+	if code := run([]string{"-doc", doc, "-query", testQuery, "-template", `<p>{$NOPE}</p>`}, &out, &errOut); code == 0 {
+		t.Fatal("unbound template variable accepted")
+	}
+}

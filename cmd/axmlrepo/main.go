@@ -1,0 +1,156 @@
+// Command axmlrepo manages a file-backed repository of AXML documents —
+// the persistence side of an ActiveXML peer. Lazy evaluation composes
+// with it naturally: "query" materialises only the relevant calls and
+// stores the enriched document back, so later queries reuse the already
+// fetched data.
+//
+// Usage:
+//
+//	axmlrepo -dir repo put <name> <file.xml>     store a document
+//	axmlrepo -dir repo get <name>                print a document
+//	axmlrepo -dir repo list                      list stored documents
+//	axmlrepo -dir repo delete <name>             remove a document
+//	axmlrepo -dir repo query <name> <query> [-provider URL] [-save]
+//	                                             evaluate lazily; -save
+//	                                             stores the materialised
+//	                                             document back
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/store"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("axmlrepo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("dir", "axml-repo", "repository directory")
+		provider = fs.String("provider", "", "remote provider for query (default: built-in demo services)")
+		save     = fs.Bool("save", false, "query: store the materialised document back")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fmt.Fprintln(stderr, "axmlrepo: missing command (put|get|list|delete|query)")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "axmlrepo: %v\n", err)
+		return 1
+	}
+	repo, err := store.Open(*dir)
+	if err != nil {
+		return fail(err)
+	}
+
+	switch cmd, rest := rest[0], rest[1:]; cmd {
+	case "put":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "axmlrepo: put <name> <file.xml>")
+			return 2
+		}
+		data, err := os.ReadFile(rest[1])
+		if err != nil {
+			return fail(err)
+		}
+		doc, err := tree.Unmarshal(data)
+		if err != nil {
+			return fail(err)
+		}
+		if err := repo.Put(rest[0], doc); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "stored %s (%d nodes, %d calls)\n", rest[0], doc.Size(), len(doc.Calls()))
+	case "get":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "axmlrepo: get <name>")
+			return 2
+		}
+		doc, err := repo.Get(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		b, err := tree.MarshalIndent(doc.Root)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "%s\n", b)
+	case "list":
+		names, err := repo.List()
+		if err != nil {
+			return fail(err)
+		}
+		for _, n := range names {
+			fmt.Fprintln(stdout, n)
+		}
+	case "delete":
+		if len(rest) != 1 {
+			fmt.Fprintln(stderr, "axmlrepo: delete <name>")
+			return 2
+		}
+		if err := repo.Delete(rest[0]); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "deleted %s\n", rest[0])
+	case "query":
+		if len(rest) != 2 {
+			fmt.Fprintln(stderr, "axmlrepo: query <name> <query>")
+			return 2
+		}
+		doc, err := repo.Get(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		q, err := pattern.Parse(rest[1])
+		if err != nil {
+			return fail(err)
+		}
+		opt := core.Options{Strategy: core.LazyNFQ}
+		var reg *service.Registry
+		if *provider != "" {
+			client := &soap.Client{BaseURL: *provider}
+			reg, err = client.RegistryFor()
+			if err != nil {
+				return fail(err)
+			}
+			opt.Clock = service.NewWallClock(false)
+		} else {
+			reg = workload.Hotels(workload.DefaultSpec()).Registry
+		}
+		out, err := core.Evaluate(doc, q, reg, opt)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "%d result(s), %d call(s) invoked\n", len(out.Results), out.Stats.CallsInvoked)
+		for i, r := range out.Results {
+			fmt.Fprintf(stdout, "%3d. %v\n", i+1, r.Values)
+		}
+		if *save {
+			if err := repo.Put(rest[0], doc); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "saved materialised %s (%d nodes)\n", rest[0], doc.Size())
+		}
+	default:
+		fmt.Fprintf(stderr, "axmlrepo: unknown command %q\n", cmd)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func worldFile(t *testing.T) string {
+	t.Helper()
+	w := workload.Hotels(workload.DefaultSpec())
+	b, err := tree.MarshalIndent(w.Doc.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func repoRun(t *testing.T, dir string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(append([]string{"-dir", dir}, args...), &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestPutListGetDelete(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	file := worldFile(t)
+	out, errOut, code := repoRun(t, dir, "put", "hotels", file)
+	if code != 0 {
+		t.Fatalf("put: %s", errOut)
+	}
+	if !strings.Contains(out, "stored hotels") {
+		t.Fatalf("put output: %s", out)
+	}
+	out, _, code = repoRun(t, dir, "list")
+	if code != 0 || strings.TrimSpace(out) != "hotels" {
+		t.Fatalf("list: %q", out)
+	}
+	out, _, code = repoRun(t, dir, "get", "hotels")
+	if code != 0 || !strings.Contains(out, "<hotels>") {
+		t.Fatalf("get: %.80q", out)
+	}
+	_, _, code = repoRun(t, dir, "delete", "hotels")
+	if code != 0 {
+		t.Fatal("delete failed")
+	}
+	out, _, _ = repoRun(t, dir, "list")
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("list after delete: %q", out)
+	}
+}
+
+func TestQueryAndSaveAmortises(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	file := worldFile(t)
+	if _, errOut, code := repoRun(t, dir, "put", "hotels", file); code != 0 {
+		t.Fatal(errOut)
+	}
+	query := `/hotels/hotel[name="Best Western"][rating="*****"]/nearby//restaurant[rating="*****"][name=$X] -> $X`
+	out, errOut, code := repoRun(t, dir, "-save", "query", "hotels", query)
+	if code != 0 {
+		t.Fatalf("query: %s", errOut)
+	}
+	if !strings.Contains(out, "24 result(s)") || !strings.Contains(out, "saved materialised") {
+		t.Fatalf("query output: %s", out)
+	}
+	// Second query over the saved document invokes nothing.
+	out, _, code = repoRun(t, dir, "query", "hotels", query)
+	if code != 0 {
+		t.Fatal("second query failed")
+	}
+	if !strings.Contains(out, "24 result(s), 0 call(s) invoked") {
+		t.Fatalf("amortisation failed: %s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	cases := [][]string{
+		{},
+		{"frob"},
+		{"put", "onlyname"},
+		{"put", "name", "/nonexistent"},
+		{"get"},
+		{"get", "missing"},
+		{"delete"},
+		{"delete", "missing"},
+		{"query", "missing", "/a"},
+		{"query"},
+	}
+	for _, args := range cases {
+		if _, _, code := repoRun(t, dir, args...); code == 0 {
+			t.Errorf("args %v: expected failure", args)
+		}
+	}
+	// Bad query text on an existing document.
+	file := worldFile(t)
+	repoRun(t, dir, "put", "d", file)
+	if _, _, code := repoRun(t, dir, "query", "d", "[["); code == 0 {
+		t.Error("bad query accepted")
+	}
+}

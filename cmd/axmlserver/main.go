@@ -1,0 +1,97 @@
+// Command axmlserver serves an AXML service provider over HTTP: the demo
+// hotels services behind the XML envelope of the soap package. Pair it
+// with axmlquery -provider, or with the examples/distributed program.
+//
+// Usage:
+//
+//	axmlserver [-addr :8080] [-hotels 40] [-latency 10ms] [-push] [-sleep]
+//	           [-recursive] [-dump-doc doc.axml]
+//
+// Endpoints:
+//
+//	GET  /services            service descriptor (WSDL-lite)
+//	POST /services/<name>     invoke a service
+//
+// With -recursive the provider materialises its own intensional results
+// before honouring pushed queries (the peer deployment of the paper's
+// Section 7), so every service advertises push capability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run starts the server. When ready is non-nil it receives the bound
+// address once listening, which tests use to connect to a :0 listener.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("axmlserver", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr      = fs.String("addr", ":8080", "listen address")
+		hotels    = fs.Int("hotels", 40, "extensional hotels in the demo world")
+		latency   = fs.Duration("latency", 10*time.Millisecond, "advertised per-call latency")
+		push      = fs.Bool("push", true, "advertise query pushing on extensional services")
+		sleep     = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
+		recursive = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
+		dump      = fs.String("dump-doc", "", "write the demo client document to this file and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := workload.DefaultSpec()
+	spec.Hotels = *hotels
+	spec.HiddenHotels = *hotels / 5
+	spec.Latency = *latency
+	spec.PushCapable = *push
+	w := workload.Hotels(spec)
+	reg := w.Registry
+	if *recursive {
+		reg = soap.RecursivePush(reg, 1_000_000)
+	}
+
+	if *dump != "" {
+		b, err := tree.MarshalIndent(w.Doc.Root)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*dump, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *dump)
+		return 0
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "axmlserver: serving %d services on %s (push=%t, sleep=%t, recursive=%t)\n",
+		len(reg.Names()), ln.Addr(), *push, *sleep, *recursive)
+	fmt.Fprintf(stdout, "  descriptor: GET http://%s/services\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	if err := http.Serve(ln, soap.NewServer(reg, *sleep)); err != nil {
+		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+		return 1
+	}
+	return 0
+}

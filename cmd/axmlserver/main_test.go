@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func TestDumpDoc(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.axml")
+	var out, errOut strings.Builder
+	code := run([]string{"-dump-doc", path, "-hotels", "5"}, &out, &errOut, nil)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := tree.Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.Label != "hotels" {
+		t.Fatalf("dumped root = %s", doc.Root.Label)
+	}
+}
+
+func TestDumpDocBadPath(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-dump-doc", "/nonexistent-dir/x.axml"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+func TestServeAndQuery(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errOut strings.Builder
+	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10", "-recursive"}, &out, &errOut, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not start: %s", errOut.String())
+	}
+	client := &soap.Client{BaseURL: "http://" + addr}
+	reg, err := client.RegistryFor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recursive mode advertises push on every service.
+	infos, err := client.Describe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range infos {
+		if !i.CanPush {
+			t.Errorf("recursive provider must advertise push on %s", i.Name)
+		}
+	}
+	spec := workload.DefaultSpec()
+	spec.Hotels = 10
+	spec.HiddenHotels = 2
+	w := workload.Hotels(spec)
+	res, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, core.Options{
+		Strategy: core.LazyNFQ, Push: true, Clock: service.NewWallClock(false),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != w.ExpectedResults {
+		t.Fatalf("results = %d, want %d", len(res.Results), w.ExpectedResults)
+	}
+}
+
+func TestBadAddr(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-addr", "999.999.999.999:-1"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,143 @@
+package axml_test
+
+import (
+	"fmt"
+	"sort"
+
+	axml "github.com/activexml/axml"
+)
+
+// The running document of the examples: a city directory whose restaurant
+// listings are intensional.
+const exampleDoc = `
+<city>
+  <district>
+    <name>Center</name>
+    <axml:call service="getVenues">Center</axml:call>
+  </district>
+  <district>
+    <name>Harbour</name>
+    <axml:call service="getVenues">Harbour</axml:call>
+  </district>
+</city>`
+
+func exampleRegistry() *axml.Registry {
+	reg := axml.NewRegistry()
+	reg.Register(&axml.Service{
+		Name:    "getVenues",
+		CanPush: true,
+		Handler: func(params []*axml.Node) ([]*axml.Node, error) {
+			district := params[0].Text()
+			venue := func(name, stars string) *axml.Node {
+				v := axml.NewElement("venue")
+				v.Append(axml.NewElement("name")).Append(axml.NewText(name))
+				v.Append(axml.NewElement("stars")).Append(axml.NewText(stars))
+				return v
+			}
+			if district == "Center" {
+				return []*axml.Node{venue("In Delis", "5"), venue("Jo", "3")}, nil
+			}
+			return []*axml.Node{venue("The Dock", "5")}, nil
+		},
+	})
+	return reg
+}
+
+// Evaluate a query lazily with signature-based pruning: only the Center
+// district's call is invoked (untyped evaluation would also try the
+// Harbour call, which could in principle return a matching name).
+func ExampleEvaluate() {
+	doc, _ := axml.ParseDocument([]byte(exampleDoc))
+	sch, _ := axml.ParseSchema(`
+functions:
+  getVenues = [in: data, out: venue*]
+elements:
+  venue = name.stars
+  name  = data
+  stars = data
+`)
+	q := axml.MustParseQuery(`/city/district[name="Center"]/venue[stars="5"][name=$V] -> $V`)
+	out, _ := axml.Evaluate(doc, q, exampleRegistry(), axml.Options{
+		Strategy: axml.LazyNFQTyped, Schema: sch,
+	})
+	for _, r := range out.Results {
+		fmt.Println(r.Values["V"])
+	}
+	fmt.Println("calls:", out.Stats.CallsInvoked)
+	// Output:
+	// In Delis
+	// calls: 1
+}
+
+// Snapshot evaluates without invoking anything — the intensional parts
+// stay unexpanded, so there is nothing to match yet.
+func ExampleSnapshot() {
+	doc, _ := axml.ParseDocument([]byte(exampleDoc))
+	q := axml.MustParseQuery(`/city/district//venue[name=$V] -> $V`)
+	fmt.Println("snapshot results:", len(axml.Snapshot(doc, q)))
+	// Output:
+	// snapshot results: 0
+}
+
+// Relevant lists the calls that could still contribute to a query —
+// Definition 3 of the paper as an API. Without signatures every district
+// call stays optimistically relevant (a call "could" return a matching
+// name); the schema pins getVenues to venue output, so only the Center
+// call survives.
+func ExampleRelevant() {
+	doc, _ := axml.ParseDocument([]byte(exampleDoc))
+	sch, _ := axml.ParseSchema(`
+functions:
+  getVenues = [in: data, out: venue*]
+elements:
+  venue = name.stars
+  name  = data
+  stars = data
+`)
+	q := axml.MustParseQuery(`/city/district[name="Center"]//venue`)
+	untyped, _ := axml.Relevant(doc, q, nil, axml.ExactTypes)
+	typed, _ := axml.Relevant(doc, q, sch, axml.ExactTypes)
+	fmt.Println("untyped relevant:", len(untyped))
+	for _, c := range typed {
+		fmt.Println(c.Label, "for", c.Parent.Child("name").Value())
+	}
+	// Output:
+	// untyped relevant: 2
+	// getVenues for Center
+}
+
+// ConstructDocument turns query results into a new (possibly again
+// intensional) document via a template.
+func ExampleConstructDocument() {
+	doc, _ := axml.ParseDocument([]byte(exampleDoc))
+	q := axml.MustParseQuery(`/city/district//venue[stars="5"][name=$V] -> $V`)
+	out, _ := axml.Evaluate(doc, q, exampleRegistry(), axml.Options{Strategy: axml.LazyNFQ})
+	sort.Slice(out.Results, func(i, j int) bool {
+		return out.Results[i].Values["V"] < out.Results[j].Values["V"]
+	})
+	tmpl, _ := axml.ParseTemplate(`<pick>{$V}</pick>`)
+	built, _ := axml.ConstructDocument("guide", tmpl, out.Results)
+	data, _ := axml.MarshalDocument(built.Root)
+	fmt.Println(string(data))
+	// Output:
+	// <guide><pick>In Delis</pick><pick>The Dock</pick></guide>
+}
+
+// ParseSchema enables signature-based pruning and document validation.
+func ExampleParseSchema() {
+	sch, _ := axml.ParseSchema(`
+functions:
+  getVenues = [in: data, out: venue*]
+elements:
+  venue = name.stars
+  name  = data
+  stars = data
+`)
+	doc, _ := axml.ParseDocument([]byte(`<venue><name>Jo</name><stars>3</stars></venue>`))
+	fmt.Println("valid:", sch.ValidateDocument(doc) == nil)
+	bad, _ := axml.ParseDocument([]byte(`<venue><stars>3</stars></venue>`))
+	fmt.Println("truncated valid:", sch.ValidateDocument(bad) == nil)
+	// Output:
+	// valid: true
+	// truncated valid: false
+}

@@ -1,0 +1,145 @@
+// Newsfeed: activation policies beyond lazy evaluation. An aggregation
+// page mixes content with different freshness needs — the paper's Section
+// 1 notes that in the ActiveXML system "a particular service call may be
+// invoked at regular time intervals or only upon explicit user
+// intervention", with *lazy* calls being the paper's subject. This
+// program runs all four policies side by side:
+//
+//   - the masthead is fetched immediately (once, at startup),
+//   - the headlines ticker refreshes periodically,
+//   - the archive section loads only on explicit request,
+//   - the weather section stays lazy: only a query touches it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	axml "github.com/activexml/axml"
+)
+
+const page = `
+<page>
+  <masthead><axml:call service="getMasthead"/></masthead>
+  <headlines><axml:call service="getHeadlines"/></headlines>
+  <archive><axml:call service="getArchive"/></archive>
+  <weather>
+    <city><name>Paris</name><axml:call service="getWeather">Paris</axml:call></city>
+    <city><name>Oslo</name><axml:call service="getWeather">Oslo</axml:call></city>
+  </weather>
+</page>`
+
+func main() {
+	doc, err := axml.ParseDocument([]byte(page))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	edition := 0
+	reg := axml.NewRegistry()
+	text := func(label string, fn func() string) {
+		reg.Register(&axml.Service{Name: label, Handler: func([]*axml.Node) ([]*axml.Node, error) {
+			v := axml.NewElement("item")
+			v.Append(axml.NewText(fn()))
+			return []*axml.Node{v}, nil
+		}})
+	}
+	text("getMasthead", func() string { return "The Daily AXML" })
+	text("getHeadlines", func() string {
+		edition++
+		return fmt.Sprintf("edition #%d", edition)
+	})
+	text("getArchive", func() string { return "42 archived stories" })
+	reg.Register(&axml.Service{Name: "getWeather", Handler: func(params []*axml.Node) ([]*axml.Node, error) {
+		sky := axml.NewElement("sky")
+		if params[0].Text() == "Paris" {
+			sky.Append(axml.NewText("sunny"))
+		} else {
+			sky.Append(axml.NewText("snow"))
+		}
+		return []*axml.Node{sky}, nil
+	}})
+
+	ctl := axml.NewActivationController(doc, reg)
+	must(ctl.SetPolicy("getMasthead", axml.ActivationPolicy{Mode: axml.ActivateImmediately}))
+	must(ctl.SetPolicy("getHeadlines", axml.ActivationPolicy{Mode: axml.ActivatePeriodically, Interval: 30 * time.Millisecond}))
+	must(ctl.SetPolicy("getArchive", axml.ActivationPolicy{Mode: axml.ActivateManually}))
+	// getWeather stays lazy.
+
+	if _, err := ctl.Sweep(100); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after startup sweep: masthead = %q\n", section(doc, "masthead"))
+
+	ctl.Start(10 * time.Millisecond)
+	defer ctl.Stop()
+	time.Sleep(100 * time.Millisecond)
+	must(ctl.WithDocument(func(d *axml.Document) error {
+		fmt.Printf("headlines refreshed periodically: %q (several editions elapsed)\n", section(d, "headlines"))
+		return nil
+	}))
+
+	// Manual: the archive loads when asked for.
+	must(ctl.WithDocument(func(d *axml.Document) error {
+		fmt.Printf("archive before request: %d call(s) pending\n", len(d.Calls())-2)
+		return nil
+	}))
+	var archiveCall *axml.Node
+	must(ctl.WithDocument(func(d *axml.Document) error {
+		for _, c := range d.Calls() {
+			if c.Label == "getArchive" {
+				archiveCall = c
+			}
+		}
+		return nil
+	}))
+	must(ctl.Activate(archiveCall))
+	must(ctl.WithDocument(func(d *axml.Document) error {
+		fmt.Printf("archive on demand: %q\n", section(d, "archive"))
+		return nil
+	}))
+
+	// Lazy: a query about Paris weather invokes only the Paris call. The
+	// signature matters: without it, Oslo's call would optimistically
+	// stay relevant (it "could" return a Paris name), so the example
+	// declares that getWeather only produces sky elements.
+	sch, err := axml.ParseSchema(`
+functions:
+  getWeather = [in: data, out: sky]
+elements:
+  sky = data
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := axml.MustParseQuery(`/page/weather/city[name="Paris"]/sky/$S -> $S`)
+	must(ctl.WithDocument(func(d *axml.Document) error {
+		out, err := axml.Evaluate(d, q, reg, axml.Options{Strategy: axml.LazyNFQTyped, Schema: sch})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("weather in Paris: %s (Oslo's call still pending: %v)\n",
+			out.Results[0].Values["S"], stillPending(d, "getWeather"))
+		return nil
+	}))
+}
+
+func section(d *axml.Document, name string) string {
+	return d.Root.Child(name).Text()
+}
+
+func stillPending(d *axml.Document, service string) bool {
+	for _, c := range d.Calls() {
+		if c.Label == service {
+			return true
+		}
+	}
+	return false
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

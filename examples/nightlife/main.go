@@ -1,0 +1,120 @@
+// Nightlife: the paper's introduction scenario. A city guide document
+// covers movies and restaurants, both partly intensional. The query
+// /goingout/movies//show[title="The Hours"]/schedule only concerns
+// movies: every call under /goingout/restaurants is pruned by position
+// alone, and within movies, signatures prune the review services.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axml "github.com/activexml/axml"
+)
+
+const guide = `
+<goingout>
+  <movies>
+    <theater>
+      <name>Grand Rex</name>
+      <axml:call service="getShows"><theater>Grand Rex</theater></axml:call>
+      <axml:call service="getReviews"><theater>Grand Rex</theater></axml:call>
+    </theater>
+    <theater>
+      <name>MK2</name>
+      <axml:call service="getShows"><theater>MK2</theater></axml:call>
+    </theater>
+  </movies>
+  <restaurants>
+    <axml:call service="getRestaurants"><area>center</area></axml:call>
+    <axml:call service="getRestaurants"><area>north</area></axml:call>
+  </restaurants>
+</goingout>`
+
+const signatures = `
+functions:
+  getShows       = [in: data, out: show*]
+  getReviews     = [in: data, out: review*]
+  getRestaurants = [in: data, out: restaurant*]
+elements:
+  show       = title.schedule
+  review     = title.stars
+  restaurant = name.address
+  title      = data
+  schedule   = data
+  stars      = data
+  name       = data
+  address    = data
+`
+
+func main() {
+	doc, err := axml.ParseDocument([]byte(guide))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch, err := axml.ParseSchema(signatures)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reg := axml.NewRegistry()
+	invoked := map[string]int{}
+	count := func(name string, h axml.Handler) axml.Handler {
+		return func(params []*axml.Node) ([]*axml.Node, error) {
+			invoked[name]++
+			return h(params)
+		}
+	}
+	reg.Register(&axml.Service{Name: "getShows", Handler: count("getShows",
+		func(params []*axml.Node) ([]*axml.Node, error) {
+			theater := params[0].Text()
+			mk := func(title, at string) *axml.Node {
+				s := axml.NewElement("show")
+				s.Append(axml.NewElement("title")).Append(axml.NewText(title))
+				s.Append(axml.NewElement("schedule")).Append(axml.NewText(at))
+				return s
+			}
+			if theater == "Grand Rex" {
+				return []*axml.Node{mk("The Hours", "20:30"), mk("Solaris", "22:00")}, nil
+			}
+			return []*axml.Node{mk("The Hours", "18:00")}, nil
+		})})
+	reg.Register(&axml.Service{Name: "getReviews", Handler: count("getReviews",
+		func([]*axml.Node) ([]*axml.Node, error) {
+			r := axml.NewElement("review")
+			r.Append(axml.NewElement("title")).Append(axml.NewText("The Hours"))
+			r.Append(axml.NewElement("stars")).Append(axml.NewText("4"))
+			return []*axml.Node{r}, nil
+		})})
+	reg.Register(&axml.Service{Name: "getRestaurants", Handler: count("getRestaurants",
+		func([]*axml.Node) ([]*axml.Node, error) {
+			r := axml.NewElement("restaurant")
+			r.Append(axml.NewElement("name")).Append(axml.NewText("In Delis"))
+			r.Append(axml.NewElement("address")).Append(axml.NewText("2nd Ave."))
+			return []*axml.Node{r}, nil
+		})})
+
+	q, err := axml.ParseQuery(`/goingout/movies//show[title="The Hours"]/schedule/$T -> $T`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := axml.Evaluate(doc, q, reg, axml.Options{
+		Strategy: axml.LazyNFQTyped,
+		Schema:   sch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(`"The Hours" plays at:`)
+	for _, r := range out.Results {
+		fmt.Printf("  %s\n", r.Values["T"])
+	}
+	fmt.Println("\nservices invoked:")
+	for _, name := range reg.Names() {
+		fmt.Printf("  %-15s %d call(s)\n", name, invoked[name])
+	}
+	fmt.Println("\ngetRestaurants was pruned by position (wrong subtree),")
+	fmt.Println("getReviews by signature (reviews cannot contain schedules).")
+}

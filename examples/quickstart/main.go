@@ -1,0 +1,69 @@
+// Quickstart: parse an Active XML document, register a Web service, and
+// evaluate a query lazily — only the calls that can contribute to the
+// answer are invoked.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	axml "github.com/activexml/axml"
+)
+
+// A weather site whose forecast section is intensional: the city pages
+// embed calls to a forecast service.
+const document = `
+<weather>
+  <city>
+    <name>Paris</name>
+    <forecast><axml:call service="getForecast"><city>Paris</city></axml:call></forecast>
+  </city>
+  <city>
+    <name>Oslo</name>
+    <forecast><axml:call service="getForecast"><city>Oslo</city></axml:call></forecast>
+  </city>
+</weather>`
+
+func main() {
+	doc, err := axml.ParseDocument([]byte(document))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// getForecast returns a couple of day elements for the given city.
+	reg := axml.NewRegistry()
+	reg.Register(&axml.Service{
+		Name: "getForecast",
+		Handler: func(params []*axml.Node) ([]*axml.Node, error) {
+			city := params[0].Text()
+			mk := func(day, sky string) *axml.Node {
+				d := axml.NewElement("day")
+				d.Append(axml.NewElement("name")).Append(axml.NewText(day))
+				d.Append(axml.NewElement("sky")).Append(axml.NewText(sky))
+				return d
+			}
+			if city == "Paris" {
+				return []*axml.Node{mk("saturday", "sunny"), mk("sunday", "cloudy")}, nil
+			}
+			return []*axml.Node{mk("saturday", "snow"), mk("sunday", "snow")}, nil
+		},
+	})
+
+	// Ask for Paris's sunny days. The Oslo forecast call is irrelevant
+	// for this query — lazy evaluation never invokes it.
+	q, err := axml.ParseQuery(`/weather/city[name="Paris"]/forecast/day[sky="sunny"][name=$D] -> $D`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := axml.Evaluate(doc, q, reg, axml.Options{Strategy: axml.LazyNFQ})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range out.Results {
+		fmt.Printf("sunny in Paris on %s\n", r.Values["D"])
+	}
+	fmt.Printf("calls invoked: %d of %d embedded (the Oslo call was pruned)\n",
+		out.Stats.CallsInvoked, 2)
+}

@@ -1,0 +1,83 @@
+// Travel: the paper's running example (Figures 1–4) end to end, comparing
+// every evaluation strategy on the same hotels document and reporting the
+// quantities the paper's evaluation measures: calls invoked, sequential
+// rounds, simulated end-to-end time and bytes transferred.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	axml "github.com/activexml/axml"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func main() {
+	// The generated world is the running example scaled up: hotels with
+	// extensional and intensional parts; getHotels hides more hotels;
+	// museum and extras services are the irrelevant-call population.
+	spec := workload.DefaultSpec()
+	w := workload.Hotels(spec)
+
+	fmt.Printf("document: %d nodes, %d embedded calls (plus %d reachable through results)\n",
+		w.Doc.Size(), len(w.Doc.Calls()), workload.TotalCalls(spec)-len(w.Doc.Calls()))
+	fmt.Printf("query:    %s\n\n", w.Query)
+
+	configs := []struct {
+		name string
+		opt  axml.Options
+	}{
+		{"naive fixpoint", axml.Options{Strategy: axml.NaiveFixpoint}},
+		{"top-down eager", axml.Options{Strategy: axml.TopDownEager}},
+		{"lazy LPQ (positions)", axml.Options{Strategy: axml.LazyLPQ}},
+		{"lazy NFQ (conditions)", axml.Options{Strategy: axml.LazyNFQ}},
+		{"lazy NFQ + types", axml.Options{Strategy: axml.LazyNFQTyped, Schema: w.Schema}},
+		{"  + layers + parallel", axml.Options{
+			Strategy: axml.LazyNFQTyped, Schema: w.Schema, Layering: true, Parallel: true}},
+		{"  + F-guide", axml.Options{
+			Strategy: axml.LazyNFQTyped, Schema: w.Schema, Layering: true, Parallel: true, UseGuide: true}},
+	}
+
+	fmt.Printf("%-24s %8s %8s %12s %10s %8s\n",
+		"strategy", "calls", "rounds", "virt-time", "bytes", "results")
+	for _, c := range configs {
+		out, err := axml.Evaluate(w.Doc.Clone(), w.Query, w.Registry, c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(out.Results) != w.ExpectedResults {
+			log.Fatalf("%s: %d results, want %d", c.name, len(out.Results), w.ExpectedResults)
+		}
+		fmt.Printf("%-24s %8d %8d %12v %10d %8d\n",
+			c.name, out.Stats.CallsInvoked, out.Stats.Rounds,
+			out.Stats.VirtualTime, out.Stats.BytesFetched, len(out.Results))
+	}
+
+	// Show one concrete answer and the materialised fragment around it.
+	doc := w.Doc.Clone()
+	out, err := axml.Evaluate(doc, w.Query, w.Registry,
+		axml.Options{Strategy: axml.LazyNFQTyped, Schema: w.Schema})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst answers (X=restaurant, Y=address):\n")
+	for i, r := range out.Results {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(out.Results)-3)
+			break
+		}
+		fmt.Printf("  X=%q Y=%q\n", r.Values["X"], r.Values["Y"])
+	}
+
+	if len(os.Args) > 1 && os.Args[1] == "-dump" {
+		b, err := axml.MarshalDocumentIndent(doc.Root)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmaterialised document:\n%s\n", b)
+	} else {
+		fmt.Printf("\n(the document was only partially materialised: %d nodes; run with -dump to see it)\n",
+			doc.Size())
+	}
+}

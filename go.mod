@@ -1,0 +1,3 @@
+module github.com/activexml/axml
+
+go 1.22

@@ -1,0 +1,302 @@
+// Package activation implements the service-call activation policies of
+// the ActiveXML system that frame the paper's contribution: "a particular
+// service call may be invoked at regular time intervals or only upon
+// explicit user intervention. We are concerned here with a special kind
+// of call activation: lazy service calls" (Section 1 of "Lazy Query
+// Evaluation for Active XML", SIGMOD 2004).
+//
+// The lazy policy is the engine of package core; this package provides
+// the remaining modes a complete AXML system offers:
+//
+//   - Immediate: a call is invoked (and replaced by its result) as soon
+//     as it is swept.
+//   - Periodic: a call persists in the document and is re-invoked on an
+//     interval; each activation replaces the previous result, which is
+//     kept as the call's preceding siblings.
+//   - Manual: a call is only invoked through an explicit Activate.
+//   - Lazy: the controller never touches the call; query evaluation
+//     (core.Evaluate) decides.
+//
+// A Controller owns the coordination; it locks around document mutations
+// so periodic refreshes and explicit activations do not interleave.
+// Query evaluation over a controlled document must be wrapped in
+// Controller.WithDocument to take the same lock.
+package activation
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Mode is a call's activation policy.
+type Mode uint8
+
+const (
+	// Lazy leaves invocation to query evaluation (the paper's subject).
+	Lazy Mode = iota
+	// Immediate invokes the call at the next sweep and replaces it.
+	Immediate
+	// Periodic re-invokes the call on an interval, keeping the call and
+	// replacing its previous result in place.
+	Periodic
+	// Manual invokes only through Controller.Activate.
+	Manual
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Lazy:
+		return "lazy"
+	case Immediate:
+		return "immediate"
+	case Periodic:
+		return "periodic"
+	case Manual:
+		return "manual"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Policy is the activation policy of a service's calls.
+type Policy struct {
+	// Mode selects when calls to the service fire.
+	Mode Mode
+	// Interval is the refresh period for Periodic.
+	Interval time.Duration
+}
+
+// Controller applies activation policies to the calls of one document.
+type Controller struct {
+	mu       sync.Mutex
+	doc      *tree.Document
+	reg      *service.Registry
+	policies map[string]Policy
+	// results tracks, per periodic call, the forest its last activation
+	// produced, so a refresh can replace it.
+	results map[*tree.Node][]*tree.Node
+	nextDue map[*tree.Node]time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewController wires a document to a registry. Policies default to Lazy.
+func NewController(doc *tree.Document, reg *service.Registry) *Controller {
+	return &Controller{
+		doc:      doc,
+		reg:      reg,
+		policies: map[string]Policy{},
+		results:  map[*tree.Node][]*tree.Node{},
+		nextDue:  map[*tree.Node]time.Time{},
+	}
+}
+
+// SetPolicy assigns the policy for every call to the named service. A
+// Periodic policy requires a positive interval.
+func (c *Controller) SetPolicy(serviceName string, p Policy) error {
+	if p.Mode == Periodic && p.Interval <= 0 {
+		return fmt.Errorf("activation: periodic policy for %s needs a positive interval", serviceName)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.policies[serviceName] = p
+	return nil
+}
+
+// PolicyFor returns the effective policy of a service.
+func (c *Controller) PolicyFor(serviceName string) Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policies[serviceName]
+}
+
+// Policies returns a copy of every explicitly set policy. Callers that
+// need policy data inside WithDocument must snapshot it first: the
+// controller's lock is not reentrant.
+func (c *Controller) Policies() map[string]Policy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Policy, len(c.policies))
+	for k, v := range c.policies {
+		out[k] = v
+	}
+	return out
+}
+
+// WithDocument runs fn under the controller's lock, so callers can
+// evaluate queries or inspect the document without racing refreshes.
+func (c *Controller) WithDocument(fn func(doc *tree.Document) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fn(c.doc)
+}
+
+// Sweep applies the Immediate policies: every call to an Immediate
+// service currently in the document is invoked and replaced, repeatedly,
+// until none remains (results may embed further immediate calls). It
+// also schedules newly discovered Periodic calls. maxCalls bounds the
+// sweep.
+func (c *Controller) Sweep(maxCalls int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	invoked := 0
+	for {
+		progressed := false
+		for _, call := range c.doc.Calls() {
+			switch c.policies[call.Label].Mode {
+			case Immediate:
+				if invoked >= maxCalls {
+					return invoked, fmt.Errorf("activation: sweep exceeded %d calls", maxCalls)
+				}
+				if err := c.replace(call); err != nil {
+					return invoked, err
+				}
+				invoked++
+				progressed = true
+			case Periodic:
+				if _, ok := c.nextDue[call]; !ok {
+					c.nextDue[call] = time.Now()
+				}
+			}
+		}
+		if !progressed {
+			return invoked, nil
+		}
+	}
+}
+
+// Activate invokes one call explicitly, regardless of its policy. A
+// periodic call is refreshed (kept in place); any other call is replaced
+// by its result.
+func (c *Controller) Activate(call *tree.Node) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.policies[call.Label].Mode == Periodic {
+		return c.refresh(call)
+	}
+	return c.replace(call)
+}
+
+// replace performs the standard AXML rewriting step: the call disappears
+// and its result takes its place.
+func (c *Controller) replace(call *tree.Node) error {
+	resp, err := c.reg.Invoke(call.Label, cloneForest(call.Children), nil)
+	if err != nil {
+		return err
+	}
+	c.doc.ReplaceCall(call, resp.Forest)
+	return nil
+}
+
+// refresh re-invokes a periodic call: the previous result forest is
+// removed and the fresh one inserted before the call, which stays in the
+// document for the next round.
+func (c *Controller) refresh(call *tree.Node) error {
+	if call.Parent == nil {
+		return fmt.Errorf("activation: refresh of a detached call")
+	}
+	resp, err := c.reg.Invoke(call.Label, cloneForest(call.Children), nil)
+	if err != nil {
+		return err
+	}
+	for _, old := range c.results[call] {
+		old.Detach()
+	}
+	for _, n := range resp.Forest {
+		call.Parent.InsertBefore(n, call)
+		c.doc.Adopt(n)
+	}
+	c.results[call] = resp.Forest
+	if p := c.policies[call.Label]; p.Mode == Periodic {
+		c.nextDue[call] = time.Now().Add(p.Interval)
+	}
+	return nil
+}
+
+// RefreshDue refreshes every periodic call whose interval has elapsed
+// (or that has never fired) and returns how many fired. Detached calls
+// (e.g. removed by other machinery) are forgotten.
+func (c *Controller) RefreshDue(now time.Time) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Discover new periodic calls.
+	for _, call := range c.doc.Calls() {
+		if c.policies[call.Label].Mode == Periodic {
+			if _, ok := c.nextDue[call]; !ok {
+				c.nextDue[call] = now
+			}
+		}
+	}
+	fired := 0
+	for call, due := range c.nextDue {
+		if call.Parent == nil {
+			delete(c.nextDue, call)
+			delete(c.results, call)
+			continue
+		}
+		if now.Before(due) {
+			continue
+		}
+		if err := c.refresh(call); err != nil {
+			return fired, err
+		}
+		fired++
+	}
+	return fired, nil
+}
+
+// Start launches a background loop that calls RefreshDue every tick.
+// Errors stop the loop silently (the next Start restarts it); production
+// deployments poll RefreshDue themselves when they need error handling.
+func (c *Controller) Start(tick time.Duration) {
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				if _, err := c.RefreshDue(now); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it to exit.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop, c.done = nil, nil
+	c.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+func cloneForest(ns []*tree.Node) []*tree.Node {
+	out := make([]*tree.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package activation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// tickerWorld builds a document with one call per policy kind and a
+// registry whose services count invocations and return fresh data.
+func tickerWorld(t *testing.T) (*tree.Document, *service.Registry, map[string]*int) {
+	t.Helper()
+	counts := map[string]*int{}
+	reg := service.NewRegistry()
+	for _, name := range []string{"now", "ticker", "byhand", "lazyone"} {
+		n := new(int)
+		counts[name] = n
+		name := name
+		reg.Register(&service.Service{
+			Name: name,
+			Handler: func([]*tree.Node) ([]*tree.Node, error) {
+				*counts[name]++
+				v := tree.NewElement("value")
+				v.Append(tree.NewText(name))
+				return []*tree.Node{v}, nil
+			},
+		})
+	}
+	root := tree.NewElement("r")
+	root.Append(tree.NewElement("a")).Append(tree.NewCall("now"))
+	root.Append(tree.NewElement("b")).Append(tree.NewCall("ticker"))
+	root.Append(tree.NewElement("c")).Append(tree.NewCall("byhand"))
+	root.Append(tree.NewElement("d")).Append(tree.NewCall("lazyone"))
+	return tree.NewDocument(root), reg, counts
+}
+
+func TestSweepImmediate(t *testing.T) {
+	doc, reg, counts := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("now", Policy{Mode: Immediate}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Sweep(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || *counts["now"] != 1 {
+		t.Fatalf("sweep invoked %d / count %d", n, *counts["now"])
+	}
+	// The immediate call was replaced; the others stay.
+	if len(doc.Calls()) != 3 {
+		t.Fatalf("calls left = %d", len(doc.Calls()))
+	}
+	// Sweeping again is a no-op.
+	if n, _ := c.Sweep(100); n != 0 {
+		t.Fatalf("second sweep invoked %d", n)
+	}
+	// Lazy and manual calls never fired.
+	if *counts["lazyone"] != 0 || *counts["byhand"] != 0 {
+		t.Fatal("non-immediate calls fired during sweep")
+	}
+}
+
+func TestSweepChainsAndBudget(t *testing.T) {
+	reg := service.NewRegistry()
+	count := 0
+	reg.Register(&service.Service{Name: "chain", Handler: func([]*tree.Node) ([]*tree.Node, error) {
+		count++
+		if count < 3 {
+			return []*tree.Node{tree.NewCall("chain")}, nil
+		}
+		return []*tree.Node{tree.NewText("done")}, nil
+	}})
+	root := tree.NewElement("r")
+	root.Append(tree.NewCall("chain"))
+	doc := tree.NewDocument(root)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("chain", Policy{Mode: Immediate}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Sweep(100)
+	if err != nil || n != 3 {
+		t.Fatalf("chained sweep: n=%d err=%v", n, err)
+	}
+	if doc.Root.Children[0].Label != "done" {
+		t.Fatalf("chain not resolved: %s", doc.Root)
+	}
+	// Budget enforcement.
+	count = 0
+	root2 := tree.NewElement("r")
+	root2.Append(tree.NewCall("chain"))
+	doc2 := tree.NewDocument(root2)
+	c2 := NewController(doc2, reg)
+	if err := c2.SetPolicy("chain", Policy{Mode: Immediate}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Sweep(1); err == nil {
+		t.Fatal("budget exceeded should error")
+	}
+}
+
+func TestManualActivate(t *testing.T) {
+	doc, reg, counts := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("byhand", Policy{Mode: Manual}); err != nil {
+		t.Fatal(err)
+	}
+	var call *tree.Node
+	for _, x := range doc.Calls() {
+		if x.Label == "byhand" {
+			call = x
+		}
+	}
+	if err := c.Activate(call); err != nil {
+		t.Fatal(err)
+	}
+	if *counts["byhand"] != 1 {
+		t.Fatal("manual call did not fire")
+	}
+	if call.Parent != nil {
+		t.Fatal("manual activation should replace the call")
+	}
+}
+
+func TestPeriodicRefreshKeepsCall(t *testing.T) {
+	doc, reg, counts := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("ticker", Policy{Mode: Periodic, Interval: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	fired, err := c.RefreshDue(now)
+	if err != nil || fired != 1 {
+		t.Fatalf("first refresh: fired=%d err=%v", fired, err)
+	}
+	b := doc.Root.Child("b")
+	if len(b.Children) != 2 { // result + the surviving call
+		t.Fatalf("b children = %d", len(b.Children))
+	}
+	if b.Children[0].Label != "value" || b.Children[1].Kind != tree.Call {
+		t.Fatalf("layout after refresh: %s", b)
+	}
+	// Not due yet: nothing fires.
+	fired, err = c.RefreshDue(now.Add(time.Minute))
+	if err != nil || fired != 0 {
+		t.Fatalf("early refresh fired=%d", fired)
+	}
+	// Due: the old result is replaced, not accumulated.
+	fired, err = c.RefreshDue(now.Add(2 * time.Hour))
+	if err != nil || fired != 1 {
+		t.Fatalf("due refresh fired=%d err=%v", fired, err)
+	}
+	if len(b.Children) != 2 || *counts["ticker"] != 2 {
+		t.Fatalf("after second refresh: children=%d count=%d", len(b.Children), *counts["ticker"])
+	}
+}
+
+func TestPeriodicForgetsDetachedCalls(t *testing.T) {
+	doc, reg, _ := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("ticker", Policy{Mode: Periodic, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RefreshDue(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the call from the document; the controller must drop it.
+	for _, x := range doc.Calls() {
+		if x.Label == "ticker" {
+			x.Detach()
+		}
+	}
+	fired, err := c.RefreshDue(time.Now().Add(time.Second))
+	if err != nil || fired != 0 {
+		t.Fatalf("detached call refreshed: fired=%d err=%v", fired, err)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	doc, reg, counts := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("ticker", Policy{Mode: Periodic, Interval: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	c.Start(2 * time.Millisecond)
+	c.Start(2 * time.Millisecond) // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := c.WithDocument(func(*tree.Document) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		c.mu.Lock()
+		fired := *counts["ticker"]
+		c.mu.Unlock()
+		if fired >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic call did not fire twice in 2s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func TestSetPolicyValidation(t *testing.T) {
+	doc, reg, _ := tickerWorld(t)
+	c := NewController(doc, reg)
+	if err := c.SetPolicy("ticker", Policy{Mode: Periodic}); err == nil {
+		t.Fatal("periodic without interval must fail")
+	}
+	if got := c.PolicyFor("ticker").Mode; got != Lazy {
+		t.Fatalf("default policy = %v", got)
+	}
+}
+
+func TestActivationErrorsPropagate(t *testing.T) {
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{Name: "boom", Handler: func([]*tree.Node) ([]*tree.Node, error) {
+		return nil, errors.New("down")
+	}})
+	root := tree.NewElement("r")
+	root.Append(tree.NewCall("boom"))
+	doc := tree.NewDocument(root)
+	c := NewController(doc, reg)
+	if err := c.Activate(doc.Calls()[0]); err == nil {
+		t.Fatal("service error must propagate")
+	}
+	if err := c.SetPolicy("boom", Policy{Mode: Periodic, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RefreshDue(time.Now()); err == nil {
+		t.Fatal("refresh error must propagate")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		Lazy: "lazy", Immediate: "immediate", Periodic: "periodic",
+		Manual: "manual", Mode(9): "mode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements the lazy query-evaluation engine of "Lazy Query
+// Evaluation for Active XML" (SIGMOD 2004): given an AXML document, a
+// tree-pattern query and a registry of Web services, it computes the
+// query's *full* result while invoking as few embedded service calls as
+// possible.
+//
+// The engine implements the paper's algorithms as selectable strategies:
+//
+//   - NaiveFixpoint — the strawman of Section 1: invoke every call in the
+//     document, recursively, until no call remains, then evaluate.
+//   - TopDownEager — the "less naive" approach of Section 1: restrict
+//     invocation to calls on the query's paths (LPQ positions), but
+//     invoke them one at a time, blocking, with no further analysis.
+//   - LazyLPQ — the NFQA loop of Section 4.1 driven by the linear path
+//     queries of Section 3.1 (the lenient relevance of Section 6.1).
+//   - LazyNFQ — the NFQA loop driven by the node-focused queries of
+//     Section 3.2 (exact positional+conditional relevance, Prop. 1).
+//   - LazyNFQTyped — LazyNFQ refined with service signatures (Section 5).
+//
+// Orthogonal options enable the layering and intra-layer parallelism of
+// Sections 4.3–4.4, the F-guide acceleration and relaxations of Section 6,
+// and the query pushing of Section 7.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/service"
+)
+
+// Strategy selects the call-invocation policy.
+type Strategy uint8
+
+const (
+	// NaiveFixpoint materialises the whole document before evaluating.
+	NaiveFixpoint Strategy = iota
+	// TopDownEager invokes calls on query paths, sequentially, with no
+	// condition analysis.
+	TopDownEager
+	// LazyLPQ runs NFQA over linear path queries (positions only).
+	LazyLPQ
+	// LazyNFQ runs NFQA over node-focused queries (positions and
+	// conditions, untyped).
+	LazyNFQ
+	// LazyNFQTyped runs NFQA over type-refined node-focused queries.
+	LazyNFQTyped
+)
+
+// String returns the strategy's name as used in experiment tables.
+func (s Strategy) String() string {
+	switch s {
+	case NaiveFixpoint:
+		return "naive"
+	case TopDownEager:
+		return "eager"
+	case LazyLPQ:
+		return "lazy-lpq"
+	case LazyNFQ:
+		return "lazy-nfq"
+	case LazyNFQTyped:
+		return "lazy-nfq-typed"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Options configures an evaluation.
+type Options struct {
+	// Strategy is the invocation policy; the zero value is NaiveFixpoint.
+	Strategy Strategy
+	// Schema supplies service signatures for LazyNFQTyped; it may be nil
+	// for the other strategies.
+	Schema *schema.Schema
+	// SchemaMode selects exact or lenient satisfiability (Section 6.1).
+	SchemaMode schema.Mode
+	// Layering enables the layer decomposition of Section 4.3. Only
+	// meaningful for the lazy strategies.
+	Layering bool
+	// Parallel enables parallel invocation: within a layer, an NFQ that
+	// meets the independence condition (✶) of Section 4.4 fires all its
+	// retrieved calls as one batch, charged at the batch's maximum
+	// latency. NaiveFixpoint batches each fixpoint round when set.
+	Parallel bool
+	// Speculative extends Parallel beyond the safe (✶) condition: within
+	// a layer, the calls retrieved by *all* member NFQs in one pass are
+	// fired as a single batch, even when their position languages
+	// overlap. This is the "calling functions in parallel just in case"
+	// direction the paper flags as future work (Section 4.4): it can
+	// invoke calls that a strictly relevant rewriting would have skipped
+	// (one batch member's result may invalidate another's relevance),
+	// but it minimises sequential rounds and therefore latency-bound
+	// time. Results are unaffected — only the invoked set may grow.
+	// Implies Parallel.
+	Speculative bool
+	// Push ships subqueries to push-capable services (Section 7).
+	Push bool
+	// UseGuide accelerates relevance detection with an F-guide
+	// (Section 6.2).
+	UseGuide bool
+	// RelaxJoins uses the join-free relaxed NFQs of Section 6.1.
+	RelaxJoins bool
+	// MaxCalls bounds the number of invocations (the paper's termination
+	// safeguard, Section 2); 0 means DefaultMaxCalls.
+	MaxCalls int
+	// Clock receives the simulated latency charges; nil means a fresh
+	// SimClock, whose total is reported in Stats.VirtualTime.
+	Clock service.Clock
+	// Trace, when set, receives one event per layer start, relevance
+	// detection round and invocation — the engine's explain output.
+	// Handlers run synchronously and must not re-enter the engine.
+	Trace TraceFunc
+}
+
+// DefaultMaxCalls bounds invocation counts when Options.MaxCalls is 0.
+const DefaultMaxCalls = 100000
+
+// Stats reports what one evaluation did — the quantities the paper's
+// experiments compare.
+type Stats struct {
+	// CallsInvoked counts service invocations.
+	CallsInvoked int
+	// PushedCalls counts invocations that shipped a subquery.
+	PushedCalls int
+	// RelevanceQueries counts NFQ/LPQ evaluations (including residual
+	// checks when the F-guide is active).
+	RelevanceQueries int
+	// GuideCandidates counts candidates produced by the F-guide before
+	// filtering.
+	GuideCandidates int
+	// Rounds counts sequential invocation steps: a single call or one
+	// parallel batch.
+	Rounds int
+	// NodesVisited accumulates the pattern evaluator's match attempts.
+	NodesVisited int
+	// BytesFetched is the serialised size of everything services
+	// returned.
+	BytesFetched int
+	// VirtualTime is the simulated end-to-end time: latencies charged to
+	// the clock (sum over rounds, max within a batch).
+	VirtualTime time.Duration
+	// DetectTime is the real CPU time spent detecting relevant calls.
+	DetectTime time.Duration
+	// AnalysisTime is the real CPU time spent on query rewriting, type
+	// analysis and influence layering.
+	AnalysisTime time.Duration
+	// FinalSize is the document's node count after evaluation.
+	FinalSize int
+}
+
+// Outcome is the result of an evaluation.
+type Outcome struct {
+	// Results is the snapshot result of the query on the final document
+	// state — by completeness (Definition 3), the full result.
+	Results []pattern.Result
+	// Complete reports whether the document was made complete for the
+	// query; false means the call budget ran out first.
+	Complete bool
+	// Stats is the evaluation accounting.
+	Stats Stats
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/workload"
+)
+
+// TestDifferentialAcrossRandomWorlds drives every strategy (and the main
+// option combinations) over randomly drawn workload configurations and
+// requires bit-identical result sets. This is the broadest correctness
+// net in the suite: any unsoundness in relevance detection, sequencing,
+// typing, guides, relaxation or pushing shows up as a disagreement with
+// the naive fixpoint.
+func TestDifferentialAcrossRandomWorlds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential testing is not short")
+	}
+	check := func(seed int64) bool {
+		spec := randomSpec(seed)
+		w := workload.Hotels(spec)
+		baseline, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, Options{Strategy: NaiveFixpoint})
+		if err != nil {
+			t.Logf("seed %d: naive failed: %v", seed, err)
+			return false
+		}
+		want := resultKeys(baseline)
+		if len(baseline.Results) != w.ExpectedResults {
+			t.Logf("seed %d: naive %d results, ground truth %d (spec %+v)",
+				seed, len(baseline.Results), w.ExpectedResults, spec)
+			return false
+		}
+		for _, opt := range []Options{
+			{Strategy: TopDownEager},
+			{Strategy: LazyLPQ},
+			{Strategy: LazyNFQ},
+			{Strategy: LazyNFQ, Layering: true, Parallel: true},
+			{Strategy: LazyNFQ, UseGuide: true, RelaxJoins: true},
+			{Strategy: LazyNFQTyped, Schema: w.Schema},
+			{Strategy: LazyNFQTyped, Schema: w.Schema, SchemaMode: schema.Lenient,
+				Layering: true, Speculative: true, UseGuide: true, Push: true},
+		} {
+			out, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
+			if err != nil {
+				t.Logf("seed %d: %v failed: %v", seed, opt.Strategy, err)
+				return false
+			}
+			if got := resultKeys(out); got != want {
+				t.Logf("seed %d: %v (opts %+v) disagrees with naive\n got %q\nwant %q\nspec %+v",
+					seed, opt.Strategy, opt, got, want, spec)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// resultKeys renders a result set order-independently by its variable
+// bindings. The workload query's result nodes are all variables, so the
+// bindings fully determine each result; node captures are deliberately
+// excluded because they differ representationally across strategies
+// (pushed evaluations return tuples without concrete nodes, and node IDs
+// follow invocation order).
+func resultKeys(out *Outcome) string {
+	keys := make([]string, 0, len(out.Results))
+	for _, r := range out.Results {
+		key := ""
+		vars := make([]string, 0, len(r.Values))
+		for k, v := range r.Values {
+			vars = append(vars, "$"+k+"="+v)
+		}
+		for i := 1; i < len(vars); i++ {
+			for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+				vars[j], vars[j-1] = vars[j-1], vars[j]
+			}
+		}
+		for _, v := range vars {
+			key += v + ";"
+		}
+		keys = append(keys, key)
+	}
+	// Insertion sort; sets are small.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	s := ""
+	for _, k := range keys {
+		s += k + "|"
+	}
+	return s
+}
+
+// randomSpec draws a small but structurally diverse world.
+func randomSpec(seed int64) workload.HotelSpec {
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state >> 33 % uint64(n))
+	}
+	spec := workload.HotelSpec{
+		Hotels:         1 + next(10),
+		HiddenHotels:   next(5),
+		TargetEvery:    1 + next(4),
+		FiveStarEvery:  1 + next(3),
+		RestosPerCall:  next(5),
+		FiveStarRestos: 0,
+		MuseumsPerCall: next(4),
+		ExtrasPerCall:  next(3),
+		TeaserKinds:    next(3),
+		PushCapable:    next(2) == 0,
+	}
+	if spec.RestosPerCall > 0 {
+		spec.FiveStarRestos = next(spec.RestosPerCall + 1)
+	}
+	if next(2) == 0 {
+		spec.IntensionalRatingEvery = 1 + next(3)
+		spec.RatingChainDepth = next(3)
+	}
+	if next(2) == 0 {
+		spec.MaterializedRestos = next(4)
+	}
+	return spec
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func TestFullyExtensionalDocument(t *testing.T) {
+	// No calls at all: every strategy is a pure snapshot evaluation.
+	doc, err := tree.Unmarshal([]byte(
+		`<hotels><hotel><name>Best Western</name><rating>*****</rating>
+		 <nearby><restaurant><name>Jo</name><address>2nd</address><rating>*****</rating></restaurant></nearby>
+		 </hotel></hotels>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.MustParse(
+		`/hotels/hotel[name="Best Western"][rating="*****"]/nearby//restaurant[name=$X] -> $X`)
+	reg := service.NewRegistry()
+	for _, s := range []Strategy{NaiveFixpoint, TopDownEager, LazyLPQ, LazyNFQ} {
+		out, err := Evaluate(doc.Clone(), q, reg, Options{Strategy: s})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !out.Complete || out.Stats.CallsInvoked != 0 || len(out.Results) != 1 {
+			t.Fatalf("%v: %+v", s, out.Stats)
+		}
+	}
+}
+
+func TestQueryWithNoPossibleMatch(t *testing.T) {
+	// The root element label differs: nothing is relevant, nothing is
+	// invoked, the result is empty.
+	w := workload.Hotels(workload.DefaultSpec())
+	q := pattern.MustParse(`/motels/motel[name=$X] -> $X`)
+	out, err := Evaluate(w.Doc.Clone(), q, w.Registry, Options{Strategy: LazyNFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete || len(out.Results) != 0 || out.Stats.CallsInvoked != 0 {
+		t.Fatalf("outcome = %+v", out.Stats)
+	}
+}
+
+func TestEmptyServiceResult(t *testing.T) {
+	// A relevant call returning an empty forest simply disappears.
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{Name: "f", Handler: func([]*tree.Node) ([]*tree.Node, error) {
+		return nil, nil
+	}})
+	root := tree.NewElement("r")
+	root.Append(tree.NewElement("zone")).Append(tree.NewCall("f"))
+	doc := tree.NewDocument(root)
+	q := pattern.MustParse(`/r/zone/item/$X -> $X`)
+	out, err := Evaluate(doc, q, reg, Options{Strategy: LazyNFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete || len(out.Results) != 0 || out.Stats.CallsInvoked != 1 {
+		t.Fatalf("outcome = %+v", out.Stats)
+	}
+	if len(doc.Calls()) != 0 {
+		t.Fatal("call not removed")
+	}
+}
+
+func TestCallReturningOnlyCalls(t *testing.T) {
+	// A call that returns two further calls, which return data: the NFQA
+	// loop must chase the growth to completion.
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{Name: "split", Handler: func([]*tree.Node) ([]*tree.Node, error) {
+		return []*tree.Node{tree.NewCall("leaf", tree.NewText("1")), tree.NewCall("leaf", tree.NewText("2"))}, nil
+	}})
+	reg.Register(&service.Service{Name: "leaf", Handler: func(params []*tree.Node) ([]*tree.Node, error) {
+		item := tree.NewElement("item")
+		item.Append(tree.NewText(params[0].Text()))
+		return []*tree.Node{item}, nil
+	}})
+	root := tree.NewElement("r")
+	root.Append(tree.NewElement("zone")).Append(tree.NewCall("split"))
+	doc := tree.NewDocument(root)
+	q := pattern.MustParse(`/r/zone/item/$X -> $X`)
+	out, err := Evaluate(doc, q, reg, Options{Strategy: LazyNFQ, Layering: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.Stats.CallsInvoked != 3 {
+		t.Fatalf("results=%d calls=%d", len(out.Results), out.Stats.CallsInvoked)
+	}
+}
+
+func TestDocumentOwnershipIsRespected(t *testing.T) {
+	// Evaluate mutates in place; the clone idiom keeps the original.
+	w := workload.Hotels(workload.DefaultSpec())
+	original := w.Doc
+	before := original.Size()
+	if _, err := Evaluate(original.Clone(), w.Query, w.Registry, Options{Strategy: LazyNFQ}); err != nil {
+		t.Fatal(err)
+	}
+	if original.Size() != before {
+		t.Fatal("clone-based evaluation mutated the original")
+	}
+}

@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/activexml/axml/internal/fguide"
+	"github.com/activexml/axml/internal/influence"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/rewrite"
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Evaluate computes the full result of q over doc, invoking services from
+// reg according to the options. The document is mutated in place: relevant
+// calls are replaced by their results (clone the document first to keep
+// the original). On success the outcome's Results hold the full query
+// result; Complete reports whether every relevant call was resolved
+// within the budget.
+func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt Options) (*Outcome, error) {
+	if err := rewrite.Validate(q); err != nil {
+		return nil, err
+	}
+	e := &engine{doc: doc, q: q, reg: reg, opt: opt, names: map[string]bool{}}
+	for _, c := range doc.Calls() {
+		e.names[c.Label] = true
+	}
+	if e.opt.Strategy == TopDownEager {
+		// The eager baseline models a blocking top-down processor: one
+		// call at a time, no sequencing analysis, no pushing.
+		e.opt.Layering, e.opt.Parallel, e.opt.Push = false, false, false
+		e.opt.Speculative = false
+	}
+	if e.opt.Speculative {
+		e.opt.Parallel = true
+	}
+	if e.opt.Clock == nil {
+		e.opt.Clock = &service.SimClock{}
+	}
+	if e.opt.MaxCalls == 0 {
+		e.opt.MaxCalls = DefaultMaxCalls
+	}
+	var err error
+	switch opt.Strategy {
+	case NaiveFixpoint:
+		err = e.runNaive()
+	case TopDownEager, LazyLPQ, LazyNFQ, LazyNFQTyped:
+		err = e.runLazy()
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", opt.Strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	results, st := pattern.Eval(doc, q)
+	e.stats.NodesVisited += st.NodesVisited
+	e.stats.VirtualTime = e.opt.Clock.Elapsed()
+	e.stats.FinalSize = doc.Size()
+	return &Outcome{Results: results, Complete: e.complete, Stats: e.stats}, nil
+}
+
+type engine struct {
+	doc *tree.Document
+	q   *pattern.Pattern
+	reg *service.Registry
+	opt Options
+
+	stats    Stats
+	complete bool
+
+	guide *fguide.Guide
+	an    *schema.Analyzer
+	names map[string]bool // service names seen in the document
+	// nameVersion increments whenever a previously unseen service name
+	// enters the document; refined NFQs must then be regenerated with
+	// the enriched name list (Section 5, "the refined NFQs are enriched
+	// accordingly").
+	nameVersion int
+	// traceLayer is the current layer index, stamped onto trace events.
+	traceLayer int
+}
+
+// budgetLeft reports how many more calls may be invoked.
+func (e *engine) budgetLeft() int { return e.opt.MaxCalls - e.stats.CallsInvoked }
+
+// runNaive is the strawman: invoke every call, recursively, to a
+// fixpoint, then evaluate (Section 1).
+func (e *engine) runNaive() error {
+	for {
+		calls := e.doc.Calls()
+		if len(calls) == 0 {
+			e.complete = true
+			return nil
+		}
+		if e.budgetLeft() <= 0 {
+			return nil
+		}
+		if len(calls) > e.budgetLeft() {
+			calls = calls[:e.budgetLeft()]
+		}
+		if e.opt.Parallel {
+			if err := e.invokeBatch(calls, nil); err != nil {
+				return err
+			}
+		} else {
+			for _, c := range calls {
+				if err := e.invokeOne(c, nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+// runLazy is the NFQA loop of Section 4.1 with the optional layering of
+// Section 4.3, parallelism of Section 4.4, typing of Section 5, guide and
+// relaxation of Section 6, and pushing of Section 7.
+func (e *engine) runLazy() error {
+	t0 := time.Now()
+	if e.opt.Strategy == LazyNFQTyped {
+		if e.opt.Schema == nil {
+			return fmt.Errorf("core: LazyNFQTyped requires a schema")
+		}
+		e.an = schema.NewAnalyzer(e.opt.Schema, e.q, e.opt.SchemaMode)
+	}
+	// Build the relevance-query set once for the influence analysis; the
+	// per-iteration query objects are regenerated as the Done set and the
+	// known service names evolve, but the linear parts never change, so
+	// the layer structure is computed once.
+	base, err := e.buildQueries(nil)
+	if err != nil {
+		return err
+	}
+	var analysis *influence.Analysis
+	layers := []influence.Layer{{Members: allIndices(len(base))}}
+	if e.opt.Layering {
+		analysis = influence.New(base)
+		layers = analysis.Layers()
+	}
+	e.stats.AnalysisTime += time.Since(t0)
+
+	if e.opt.UseGuide {
+		e.guide = fguide.Build(e.doc)
+	}
+
+	done := map[int]bool{}
+	for li, layer := range layers {
+		members := layer.SortedMembers()
+		e.traceLayer = li
+		e.emit(TraceEvent{Kind: TraceLayer, Calls: len(members)})
+		if err := e.drainLayer(members, analysis, done); err != nil {
+			return err
+		}
+		if e.budgetLeft() <= 0 {
+			return nil
+		}
+		// Section 4.3: positions of a finished layer can no longer hold
+		// calls; later queries drop the corresponding OR/() branches.
+		for _, m := range members {
+			done[base[m].For.ID] = true
+		}
+	}
+	e.complete = true
+	return nil
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// drainLayer runs NFQA over the layer's members until none of them
+// retrieves a relevant call.
+func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done map[int]bool) error {
+	// The query objects only change when the done set does (handled by
+	// rebuilding per layer) or, for refined NFQs, when a previously
+	// unseen service name enters the document.
+	var queries []*rewrite.NFQ
+	builtAt := -1
+	for {
+		if e.budgetLeft() <= 0 {
+			return nil
+		}
+		if queries == nil || (e.an != nil && builtAt != e.nameVersion) {
+			t0 := time.Now()
+			var err error
+			queries, err = e.buildQueries(done)
+			if err != nil {
+				return err
+			}
+			builtAt = e.nameVersion
+			e.stats.AnalysisTime += time.Since(t0)
+		}
+		progressed := false
+		lpqBased := e.opt.Strategy == TopDownEager || e.opt.Strategy == LazyLPQ
+		if e.opt.Speculative {
+			// Gather every member NFQ's retrieved calls and fire them as
+			// one batch. Calls can be retrieved by several NFQs; the
+			// batch is deduplicated, and each call is pushed the
+			// subquery of the first NFQ that retrieved it.
+			seen := map[*tree.Node]bool{}
+			var batchCalls []*tree.Node
+			var batchNFQs []*rewrite.NFQ
+			for _, m := range members {
+				nfq := queries[m]
+				for _, c := range e.relevantCalls(nfq) {
+					if !seen[c] {
+						seen[c] = true
+						batchCalls = append(batchCalls, c)
+						batchNFQs = append(batchNFQs, nfq)
+					}
+				}
+			}
+			if len(batchCalls) == 0 {
+				return nil
+			}
+			if len(batchCalls) > e.budgetLeft() {
+				batchCalls = batchCalls[:e.budgetLeft()]
+				batchNFQs = batchNFQs[:e.budgetLeft()]
+			}
+			if err := e.invokeMixedBatch(batchCalls, batchNFQs); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, m := range members {
+			nfq := queries[m]
+			calls := e.relevantCalls(nfq)
+			if len(calls) == 0 {
+				continue
+			}
+			progressed = true
+			if len(calls) > e.budgetLeft() {
+				calls = calls[:e.budgetLeft()]
+			}
+			switch {
+			case e.opt.Parallel && (analysis == nil || analysis.Independent(m)):
+				if err := e.invokeBatch(calls, nfq); err != nil {
+					return err
+				}
+			case lpqBased:
+				// Position relevance cannot be invalidated by another
+				// invocation (an LPQ has no conditions and the call
+				// stays at its position), so the whole retrieved set is
+				// invoked without re-evaluation — sequentially, each
+				// call charged in full.
+				for _, c := range calls {
+					if err := e.invokeOne(c, nfq); err != nil {
+						return err
+					}
+				}
+			default:
+				// Invoke a single call, then re-evaluate the layer's
+				// queries: its result may have changed every NFQ's
+				// relevant set (Section 4.1).
+				if err := e.invokeOne(calls[0], nfq); err != nil {
+					return err
+				}
+			}
+			break
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// buildQueries regenerates the relevance queries for the current engine
+// state (strategy, done positions, known names). The result always holds
+// one query per non-anchor node, in pre-order, so member indices from the
+// influence analysis stay valid across regenerations. Done positions are
+// only used to simplify OR/() branches inside the queries (Section 4.3):
+// queries for done nodes are still present but belong to finished layers
+// and are never evaluated again.
+func (e *engine) buildQueries(done map[int]bool) ([]*rewrite.NFQ, error) {
+	ropt := rewrite.Options{
+		RelaxJoins: e.opt.RelaxJoins,
+		Analyzer:   e.an,
+		Names:      e.sortedNames(),
+		Done:       done,
+	}
+	if e.opt.Strategy == TopDownEager || e.opt.Strategy == LazyLPQ {
+		return e.lpqSet()
+	}
+	var out []*rewrite.NFQ
+	for _, v := range e.q.Nodes() {
+		if v.Kind == pattern.Root {
+			continue
+		}
+		var (
+			nfq *rewrite.NFQ
+			err error
+		)
+		if done[v.ID] {
+			// Finished layer: keep an index placeholder; its query is
+			// never evaluated again.
+			nfq, err = rewrite.LPQ(e.q, v)
+		} else {
+			nfq, err = rewrite.Build(e.q, v, ropt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nfq)
+	}
+	return out, nil
+}
+
+// lpqSet builds the minimized LPQ family. Minimization (containment-based
+// redundancy elimination, Section 4.1) is skipped when pushing, since the
+// subsumed finer queries carry more precise subqueries to push. The set
+// depends only on the user query, so it is deterministic across calls and
+// the influence analysis' member indices stay valid.
+func (e *engine) lpqSet() ([]*rewrite.NFQ, error) {
+	var out []*rewrite.NFQ
+	for _, v := range e.q.Nodes() {
+		if v.Kind == pattern.Root {
+			continue
+		}
+		l, err := rewrite.LPQ(e.q, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	if !e.opt.Push {
+		out = rewrite.Minimize(out)
+	}
+	return out, nil
+}
+
+func (e *engine) sortedNames() []string {
+	out := make([]string, 0, len(e.names))
+	for n := range e.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// relevantCalls retrieves the calls currently relevant for one NFQ: by
+// direct evaluation on the document, or via the F-guide followed by
+// type-based and residual filtering (Section 6.2). Type pruning on the
+// output side (Section 5) applies in both paths.
+func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
+	if nfq == nil {
+		return nil
+	}
+	t0 := time.Now()
+	defer func() { e.stats.DetectTime += time.Since(t0) }()
+	var calls []*tree.Node
+	if e.guide != nil {
+		cands := e.guide.Candidates(nfq.Lin, nfq.DescTail)
+		e.stats.GuideCandidates += len(cands)
+		if len(cands) == 0 {
+			return nil
+		}
+		// Candidates share one residual matcher, so condition checks are
+		// memoised across them and each check only explores the
+		// candidate's own ancestors' subtrees (Section 6.2).
+		e.stats.RelevanceQueries++
+		matcher := pattern.NewResidualMatcher(nfq.Query, nfq.Out)
+		for _, c := range cands {
+			if !nfq.SatisfiesOut(e.an, c.Label) {
+				continue
+			}
+			if matcher.Match(e.doc, c) {
+				calls = append(calls, c)
+			}
+		}
+		e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
+		return calls
+	}
+	got, st := pattern.MatchedCallsStats(e.doc, nfq.Query, nfq.Out)
+	e.stats.RelevanceQueries++
+	e.stats.NodesVisited += st.NodesVisited
+	for _, c := range got {
+		if nfq.SatisfiesOut(e.an, c.Label) {
+			calls = append(calls, c)
+		}
+	}
+	e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
+	return calls
+}
+
+// pushedQuery returns the subquery to ship with a call retrieved for nfq,
+// or nil when pushing is off, impossible, or unsafe. The subquery is
+// sub_v, v's subtree (Section 7); it is only pushed when the binding
+// tuples it returns can stand in for a full match: every result node is a
+// variable and every variable of the subtree is a result variable (a
+// variable shared with the rest of the query but absent from the tuples
+// could not be joined).
+func (e *engine) pushedQuery(nfq *rewrite.NFQ) *pattern.Pattern {
+	if !e.opt.Push || nfq == nil {
+		return nil
+	}
+	sub := e.q.Sub(nfq.For)
+	resultVars := map[string]bool{}
+	for _, r := range sub.ResultNodes() {
+		if r.Kind != pattern.Var {
+			return nil
+		}
+		resultVars[r.Label] = true
+	}
+	for _, v := range sub.Variables() {
+		if !resultVars[v] {
+			return nil
+		}
+	}
+	return sub
+}
+
+// invokeOne invokes a single call and charges its latency sequentially.
+func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
+	path := tracePath(call)
+	resp, err := e.invoke(call, nfq)
+	if err != nil {
+		return err
+	}
+	e.emit(TraceEvent{
+		Kind: TraceInvoke, Target: traceTarget(nfq), Service: call.Label,
+		Path: path, Calls: 1, Pushed: resp.Pushed,
+	})
+	e.opt.Clock.Advance(resp.Latency)
+	e.stats.Rounds++
+	return nil
+}
+
+// invokeBatch invokes the calls in parallel and charges the batch's
+// maximum latency (Section 4.4). Service handlers run concurrently; the
+// document mutations are applied sequentially afterwards.
+func (e *engine) invokeBatch(calls []*tree.Node, nfq *rewrite.NFQ) error {
+	nfqs := make([]*rewrite.NFQ, len(calls))
+	for i := range nfqs {
+		nfqs[i] = nfq
+	}
+	return e.invokeMixedBatch(calls, nfqs)
+}
+
+// invokeMixedBatch is invokeBatch with a per-call originating NFQ, so a
+// speculative batch can push each call the subquery it was retrieved for.
+func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error {
+	type result struct {
+		resp   service.Response
+		err    error
+		pushed bool
+	}
+	results := make([]result, len(calls))
+	var wg sync.WaitGroup
+	for i, c := range calls {
+		wg.Add(1)
+		go func(i int, c *tree.Node) {
+			defer wg.Done()
+			pushed := e.pushedQuery(nfqs[i])
+			resp, err := e.reg.Invoke(c.Label, cloneForest(c.Children), pushed)
+			results[i] = result{resp, err, pushed != nil && resp.Pushed}
+		}(i, c)
+	}
+	paths := make([]string, len(calls))
+	for i, c := range calls {
+		paths[i] = tracePath(c)
+	}
+	wg.Wait()
+	var maxLat time.Duration
+	for i, c := range calls {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		e.apply(c, results[i].resp, results[i].pushed)
+		e.emit(TraceEvent{
+			Kind: TraceInvoke, Target: traceTarget(nfqs[i]), Service: c.Label,
+			Path: paths[i], Calls: len(calls), Pushed: results[i].pushed, Parallel: true,
+		})
+		if results[i].resp.Latency > maxLat {
+			maxLat = results[i].resp.Latency
+		}
+	}
+	e.opt.Clock.Advance(maxLat)
+	e.stats.Rounds++
+	return nil
+}
+
+// invoke performs one invocation (without clock charging) and applies the
+// result to the document.
+func (e *engine) invoke(call *tree.Node, nfq *rewrite.NFQ) (service.Response, error) {
+	pushed := e.pushedQuery(nfq)
+	resp, err := e.reg.Invoke(call.Label, cloneForest(call.Children), pushed)
+	if err != nil {
+		return service.Response{}, err
+	}
+	e.apply(call, resp, pushed != nil && resp.Pushed)
+	return resp, nil
+}
+
+// apply splices a response into the document, maintains the guide and the
+// known-name set, and updates accounting.
+func (e *engine) apply(call *tree.Node, resp service.Response, wasPushed bool) {
+	if e.guide != nil {
+		e.guide.Remove(call)
+	}
+	inserted := e.doc.ReplaceCall(call, resp.Forest)
+	for _, n := range inserted {
+		if e.guide != nil {
+			e.guide.AddSubtree(n)
+		}
+		n.Walk(func(x *tree.Node) bool {
+			if x.Kind == tree.Call && !e.names[x.Label] {
+				e.names[x.Label] = true
+				e.nameVersion++
+			}
+			return true
+		})
+	}
+	e.stats.CallsInvoked++
+	e.stats.BytesFetched += resp.Bytes
+	if wasPushed {
+		e.stats.PushedCalls++
+	}
+}
+
+func cloneForest(ns []*tree.Node) []*tree.Node {
+	out := make([]*tree.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/activexml/axml/internal/workload"
+)
+
+func TestJoinQueryGroundTruth(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.TagJoinEvery = 2
+	spec.PushCapable = true
+	w := workload.Hotels(spec)
+	for _, opt := range []Options{
+		{Strategy: NaiveFixpoint},
+		{Strategy: LazyNFQ},
+		{Strategy: LazyNFQ, Push: true},
+		{Strategy: LazyNFQTyped, Schema: w.Schema, Push: true, Layering: true, Parallel: true},
+	} {
+		out, err := Evaluate(w.Doc.Clone(), w.JoinQuery, w.Registry, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v push=%v: results=%d complete=%v calls=%d", opt.Strategy, opt.Push, len(out.Results), out.Complete, out.Stats.CallsInvoked)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/activexml/axml/internal/rewrite"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// TraceKind discriminates engine trace events.
+type TraceKind uint8
+
+const (
+	// TraceLayer marks the start of an influence layer's processing.
+	TraceLayer TraceKind = iota
+	// TraceDetect reports one relevance-query evaluation round.
+	TraceDetect
+	// TraceInvoke reports one invocation (or parallel batch member).
+	TraceInvoke
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceLayer:
+		return "layer"
+	case TraceDetect:
+		return "detect"
+	case TraceInvoke:
+		return "invoke"
+	default:
+		return fmt.Sprintf("trace(%d)", uint8(k))
+	}
+}
+
+// TraceEvent is one step of an evaluation, for explain output and
+// debugging. Events are emitted synchronously; handlers must be fast and
+// must not re-enter the engine.
+type TraceEvent struct {
+	// Kind of the event.
+	Kind TraceKind
+	// Layer is the current influence-layer index (0 when layering is
+	// off).
+	Layer int
+	// Target describes the query node the active relevance query was
+	// generated for (empty for naive invocations).
+	Target string
+	// Service is the invoked service (TraceInvoke).
+	Service string
+	// Path is the invoked call's document path (TraceInvoke).
+	Path string
+	// Calls is the number of relevant calls retrieved (TraceDetect) or
+	// the batch size (TraceInvoke).
+	Calls int
+	// Pushed reports whether a subquery was shipped (TraceInvoke).
+	Pushed bool
+	// Parallel reports whether the invocation was part of a batch.
+	Parallel bool
+}
+
+// String renders the event for explain output.
+func (e TraceEvent) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[L%d] %-6s", e.Layer, e.Kind)
+	switch e.Kind {
+	case TraceLayer:
+		fmt.Fprintf(&sb, " %d relevance queries", e.Calls)
+	case TraceDetect:
+		fmt.Fprintf(&sb, " %-24s -> %d relevant call(s)", e.Target, e.Calls)
+	case TraceInvoke:
+		fmt.Fprintf(&sb, " %s at %s", e.Service, e.Path)
+		if e.Target != "" {
+			fmt.Fprintf(&sb, " (for %s)", e.Target)
+		}
+		if e.Pushed {
+			sb.WriteString(" +pushed-query")
+		}
+		if e.Parallel {
+			fmt.Fprintf(&sb, " [batch of %d]", e.Calls)
+		}
+	}
+	return sb.String()
+}
+
+// TraceFunc receives engine events. Set it through Options.Trace.
+type TraceFunc func(TraceEvent)
+
+// emit sends an event to the configured tracer, if any.
+func (e *engine) emit(ev TraceEvent) {
+	if e.opt.Trace != nil {
+		ev.Layer = e.traceLayer
+		e.opt.Trace(ev)
+	}
+}
+
+// traceTarget labels the node an NFQ was generated for.
+func traceTarget(nfq *rewrite.NFQ) string {
+	if nfq == nil {
+		return ""
+	}
+	return nfq.TargetLabel()
+}
+
+func tracePath(call *tree.Node) string {
+	if call.Parent == nil {
+		return "(detached)"
+	}
+	return call.PathString()
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/activexml/axml/internal/workload"
+)
+
+func TestTraceEvents(t *testing.T) {
+	spec := workload.DefaultSpec()
+	spec.Hotels = 6
+	spec.HiddenHotels = 2
+	spec.PushCapable = true
+	w := workload.Hotels(spec)
+	var events []TraceEvent
+	opt := Options{
+		Strategy: LazyNFQTyped, Schema: w.Schema,
+		Layering: true, Parallel: true, Push: true,
+		Trace: func(e TraceEvent) { events = append(events, e) },
+	}
+	out, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var layers, detects, invokes, pushed, parallel int
+	for _, e := range events {
+		switch e.Kind {
+		case TraceLayer:
+			layers++
+		case TraceDetect:
+			detects++
+		case TraceInvoke:
+			invokes++
+			if e.Service == "" || e.Path == "" {
+				t.Errorf("invoke event incomplete: %+v", e)
+			}
+			if e.Pushed {
+				pushed++
+			}
+			if e.Parallel {
+				parallel++
+			}
+		}
+	}
+	if layers < 2 {
+		t.Errorf("layers traced = %d", layers)
+	}
+	if detects == 0 || detects != out.Stats.RelevanceQueries {
+		t.Errorf("detect events %d vs relevance queries %d", detects, out.Stats.RelevanceQueries)
+	}
+	if invokes != out.Stats.CallsInvoked {
+		t.Errorf("invoke events %d vs calls %d", invokes, out.Stats.CallsInvoked)
+	}
+	if pushed != out.Stats.PushedCalls {
+		t.Errorf("pushed events %d vs stat %d", pushed, out.Stats.PushedCalls)
+	}
+	if parallel == 0 {
+		t.Error("no parallel invocations traced")
+	}
+	// Rendering covers every kind.
+	for _, e := range events {
+		s := e.String()
+		if !strings.Contains(s, e.Kind.String()) {
+			t.Fatalf("render misses kind: %q", s)
+		}
+	}
+}
+
+func TestTraceSequentialAndNaive(t *testing.T) {
+	w := workload.Hotels(workload.DefaultSpec())
+	var invokes int
+	opt := Options{Strategy: NaiveFixpoint, Trace: func(e TraceEvent) {
+		if e.Kind == TraceInvoke {
+			invokes++
+			if e.Target != "" {
+				t.Errorf("naive invocations have no target: %+v", e)
+			}
+		}
+	}}
+	out, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invokes != out.Stats.CallsInvoked {
+		t.Fatalf("traced %d of %d invocations", invokes, out.Stats.CallsInvoked)
+	}
+}
+
+func TestTraceKindString(t *testing.T) {
+	for k, want := range map[TraceKind]string{
+		TraceLayer: "layer", TraceDetect: "detect", TraceInvoke: "invoke", TraceKind(9): "trace(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package fguide implements the function call guides of Section 6.2 of
+// "Lazy Query Evaluation for Active XML" (SIGMOD 2004): a dataguide-style
+// trie that summarises, with a single occurrence per path, the label paths
+// of the document that lead to function nodes, together with their extents
+// (pointers to the function nodes found under each path).
+//
+// Linear path queries yield the same candidate set on a document and on
+// its F-guide, and the guide is typically far smaller, which is what makes
+// relevance detection fast: the engine runs the linear part of each
+// relevance query on the guide and then filters the (few) candidates by
+// output type and by the residual conditions of the NFQ.
+package fguide
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/activexml/axml/internal/regex"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Guide is an F-guide over one document. It must be kept in sync with the
+// document through Remove and Add as calls are invoked; Synced reports
+// whether it has seen every mutation.
+type Guide struct {
+	doc     *tree.Document
+	root    *gnode
+	where   map[*tree.Node]*gnode // call → trie node holding it
+	version uint64
+	paths   int
+}
+
+// gnode is one trie node: a distinct label path of the document under
+// which at least one function node occurs (or occurred; emptied nodes are
+// pruned unless they still have children).
+type gnode struct {
+	label    string
+	parent   *gnode
+	children map[string]*gnode
+	extent   []*tree.Node
+}
+
+// Build constructs the F-guide of the document in a single document-order
+// traversal (linear time, as the paper notes).
+func Build(doc *tree.Document) *Guide {
+	g := &Guide{
+		doc:     doc,
+		root:    &gnode{children: map[string]*gnode{}},
+		where:   map[*tree.Node]*gnode{},
+		version: doc.Version(),
+	}
+	var walk func(n *tree.Node, at *gnode)
+	walk = func(n *tree.Node, at *gnode) {
+		if n.Kind == tree.Call {
+			g.attach(at, n)
+			return
+		}
+		if n.Kind != tree.Element {
+			return
+		}
+		next := g.child(at, n.Label)
+		for _, c := range n.Children {
+			walk(c, next)
+		}
+	}
+	// The root element's own label is the first path component.
+	walk(doc.Root, g.root)
+	g.prune(g.root)
+	return g
+}
+
+// child returns (creating if needed) the trie child for a label.
+func (g *Guide) child(at *gnode, label string) *gnode {
+	if c, ok := at.children[label]; ok {
+		return c
+	}
+	c := &gnode{label: label, parent: at, children: map[string]*gnode{}}
+	at.children[label] = c
+	return c
+}
+
+func (g *Guide) attach(at *gnode, call *tree.Node) {
+	if len(at.extent) == 0 {
+		g.paths++
+	}
+	at.extent = append(at.extent, call)
+	g.where[call] = at
+}
+
+// prune drops trie branches with no extent anywhere below, so the guide
+// only keeps paths leading to function calls.
+func (g *Guide) prune(n *gnode) bool {
+	useful := len(n.extent) > 0
+	for label, c := range n.children {
+		if g.prune(c) {
+			useful = true
+		} else {
+			delete(n.children, label)
+		}
+	}
+	return useful
+}
+
+// Remove unregisters a function node, called just before the engine
+// expands it. Emptied trie branches are pruned.
+func (g *Guide) Remove(call *tree.Node) {
+	at, ok := g.where[call]
+	if !ok {
+		return
+	}
+	delete(g.where, call)
+	for i, c := range at.extent {
+		if c == call {
+			at.extent = append(at.extent[:i], at.extent[i+1:]...)
+			break
+		}
+	}
+	if len(at.extent) == 0 {
+		g.paths--
+		for n := at; n.parent != nil && len(n.extent) == 0 && len(n.children) == 0; n = n.parent {
+			delete(n.parent.children, n.label)
+		}
+	}
+	g.version = g.doc.Version()
+}
+
+// Add registers a function node newly inserted into the document (e.g.
+// found in a call result). The node must be attached to the document.
+func (g *Guide) Add(call *tree.Node) {
+	if call.Kind != tree.Call {
+		panic("fguide: Add of a non-call node")
+	}
+	at := g.root
+	path := call.Path()
+	for _, label := range path[:len(path)-1] {
+		at = g.child(at, label)
+	}
+	g.attach(at, call)
+	g.version = g.doc.Version()
+}
+
+// AddSubtree registers every function node of a freshly inserted subtree.
+func (g *Guide) AddSubtree(n *tree.Node) {
+	n.Walk(func(x *tree.Node) bool {
+		if x.Kind == tree.Call {
+			g.Add(x)
+			return false
+		}
+		return x.Kind == tree.Element
+	})
+}
+
+// Synced reports whether the guide has incorporated every document
+// mutation (its version matches the document's).
+func Synced(g *Guide) bool { return g.version == g.doc.Version() }
+
+// Paths returns the number of distinct call-bearing paths in the guide.
+func (g *Guide) Paths() int { return g.paths }
+
+// Calls returns the number of function nodes currently indexed.
+func (g *Guide) Calls() int { return len(g.where) }
+
+// Candidates evaluates a linear path query on the guide: lin is the label
+// path the call's *parent* must match (wildcard steps use regex.Any;
+// AnyDepth steps may be preceded by arbitrary labels), and descTail
+// selects whether the call may also sit at any depth below a lin match
+// (descendant-edge targets). The result is every function node in the
+// extents of the matching trie nodes, in ascending node-ID order.
+func (g *Guide) Candidates(lin []regex.PathStep, descTail bool) []*tree.Node {
+	cur := map[*gnode]bool{g.root: true}
+	for _, step := range lin {
+		next := map[*gnode]bool{}
+		if step.AnyDepth {
+			for n := range cur {
+				collectDescendants(n, step.Label, next)
+			}
+		} else {
+			for n := range cur {
+				for label, c := range n.children {
+					if step.Label == regex.Any || step.Label == label {
+						next[c] = true
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		cur = next
+	}
+	seen := map[*tree.Node]bool{}
+	var out []*tree.Node
+	var take func(n *gnode, deep bool)
+	take = func(n *gnode, deep bool) {
+		for _, c := range n.extent {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		if deep {
+			for _, ch := range n.children {
+				take(ch, true)
+			}
+		}
+	}
+	for n := range cur {
+		take(n, descTail)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// collectDescendants adds to out every proper descendant of n whose label
+// matches (regex.Any matches all).
+func collectDescendants(n *gnode, label string, out map[*gnode]bool) {
+	for _, c := range n.children {
+		if label == regex.Any || label == c.label {
+			out[c] = true
+		}
+		collectDescendants(c, label, out)
+	}
+}
+
+// ToDocument materialises the guide as an AXML document — "since
+// F-guides are trees, they can naturally be represented as XML documents,
+// and therefore be serialized and queried just as the data they
+// summarize" (Section 6.2). Each trie node becomes an element with its
+// label; each indexed call becomes a call node to the same service at the
+// corresponding path. Evaluating a linear path query over the guide
+// document therefore retrieves one representative call per (path,
+// service) occurrence, mirroring Candidates.
+func (g *Guide) ToDocument() *tree.Document {
+	var build func(n *gnode, parent *tree.Node)
+	build = func(n *gnode, parent *tree.Node) {
+		for _, c := range n.extent {
+			parent.Append(tree.NewCall(c.Label))
+		}
+		labels := make([]string, 0, len(n.children))
+		for l := range n.children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			e := parent.Append(tree.NewElement(l))
+			build(n.children[l], e)
+		}
+	}
+	// The trie's single first level is the summarised document's root
+	// element (the virtual trie root holds no extents: calls always have
+	// a data parent). A guide with no calls at all summarises to an
+	// empty placeholder root.
+	if len(g.root.children) == 1 {
+		for label, child := range g.root.children {
+			root := tree.NewElement(label)
+			build(child, root)
+			return tree.NewDocument(root)
+		}
+	}
+	return tree.NewDocument(tree.NewElement("fguide"))
+}
+
+// String renders the guide as an indented path tree with extent sizes, in
+// the spirit of the paper's Figure 8. Deterministic for tests and
+// debugging.
+func (g *Guide) String() string {
+	var sb strings.Builder
+	var walk func(n *gnode, depth int)
+	walk = func(n *gnode, depth int) {
+		if n != g.root {
+			sb.WriteString(strings.Repeat("  ", depth-1))
+			sb.WriteString(n.label)
+			if len(n.extent) > 0 {
+				fmt.Fprintf(&sb, " (%d call", len(n.extent))
+				if len(n.extent) > 1 {
+					sb.WriteString("s")
+				}
+				sb.WriteString(")")
+			}
+			sb.WriteString("\n")
+		}
+		labels := make([]string, 0, len(n.children))
+		for l := range n.children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			walk(n.children[l], depth+1)
+		}
+	}
+	walk(g.root, 0)
+	return sb.String()
+}

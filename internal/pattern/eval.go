@@ -1,0 +1,550 @@
+package pattern
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Result is one element of the snapshot result of a query (Definition 1):
+// the restriction of an embedding to the result nodes.
+type Result struct {
+	// Values holds the labels bound to result *variable* nodes, keyed by
+	// variable name. A variable matched through a pushed-call tuple
+	// (Section 7) appears here even though no document node exists for it.
+	Values map[string]string
+	// Nodes holds the document nodes matched by non-variable result nodes
+	// (and by variable result nodes matched against concrete nodes),
+	// keyed by the pattern node ID.
+	Nodes map[int]*tree.Node
+}
+
+// Key returns a canonical identity for the result, used for
+// deduplication: document node IDs for node captures and name=value pairs
+// for variable bindings.
+func (r Result) Key() string {
+	var parts []string
+	for k, v := range r.Values {
+		parts = append(parts, "$"+k+"="+v)
+	}
+	for id, n := range r.Nodes {
+		parts = append(parts, itoa(id)+"@"+itoa(int(n.ID)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func itoa(i int) string {
+	if i < 0 {
+		return "-" + itoa(-i)
+	}
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+// Stats reports the work done by an evaluation, for the experiments.
+type Stats struct {
+	// NodesVisited counts (query node, document node) match attempts.
+	NodesVisited int
+}
+
+// Eval computes the snapshot result of q on doc: one Result per distinct
+// restriction of an embedding to the result nodes. The second return value
+// reports evaluation effort.
+func Eval(doc *tree.Document, q *Pattern) ([]Result, Stats) {
+	ev := newEvaluator(q)
+	sols := ev.matchChildren(q.Root(), rootScope{doc: doc})
+	return ev.finish(sols), Stats{NodesVisited: ev.visited}
+}
+
+// EvalForest computes the snapshot result of q over a forest of detached
+// trees, as a push-capable service does over its result (Section 7): the
+// pattern's anchor children match forest roots (child edge) or any forest
+// node (descendant edge).
+func EvalForest(forest []*tree.Node, q *Pattern) ([]Result, Stats) {
+	ev := newEvaluator(q)
+	sols := ev.matchChildren(q.Root(), rootScope{forest: forest})
+	return ev.finish(sols), Stats{NodesVisited: ev.visited}
+}
+
+// HasEmbedding reports whether q has at least one embedding in doc.
+func HasEmbedding(doc *tree.Document, q *Pattern) bool {
+	rs, _ := Eval(doc, q)
+	return len(rs) > 0
+}
+
+// MatchedCalls evaluates an extended query whose result node out is a
+// function node and returns the distinct document function nodes matched
+// by it, in document-order-independent but deterministic (ID) order. This
+// is how LPQs and NFQs retrieve candidate relevant calls (Section 3).
+func MatchedCalls(doc *tree.Document, q *Pattern, out *Node) []*tree.Node {
+	calls, _ := MatchedCallsStats(doc, q, out)
+	return calls
+}
+
+// MatchedCallsStats is MatchedCalls reporting the evaluation effort, for
+// the engine's accounting.
+func MatchedCallsStats(doc *tree.Document, q *Pattern, out *Node) ([]*tree.Node, Stats) {
+	rs, st := Eval(doc, q)
+	return collectCalls(rs, out), st
+}
+
+// MatchedCallsPinned is MatchedCalls restricted to embeddings that map the
+// node pin to the document node target. The F-guide filtering of Section
+// 6.2 uses it to validate one candidate call at a time.
+func MatchedCallsPinned(doc *tree.Document, q *Pattern, out *Node, target *tree.Node) bool {
+	ev := newEvaluator(q)
+	ev.pinID, ev.pinTarget = out.ID, target
+	sols := ev.matchChildren(q.Root(), rootScope{doc: doc})
+	for _, s := range sols {
+		if s.caps[out.ID] == target {
+			return true
+		}
+	}
+	return false
+}
+
+func collectCalls(rs []Result, out *Node) []*tree.Node {
+	seen := map[*tree.Node]bool{}
+	var calls []*tree.Node
+	for _, r := range rs {
+		if n := r.Nodes[out.ID]; n != nil && !seen[n] {
+			seen[n] = true
+			calls = append(calls, n)
+		}
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].ID < calls[j].ID })
+	return calls
+}
+
+// rootScope tells the evaluator what the anchor's children range over:
+// either a document (child edge → the root element; descendant edge → any
+// node) or a detached forest (child edge → the roots; descendant edge →
+// any forest node).
+type rootScope struct {
+	doc    *tree.Document
+	forest []*tree.Node
+}
+
+func (s rootScope) childCandidates() []*tree.Node {
+	if s.doc != nil {
+		return []*tree.Node{s.doc.Root}
+	}
+	return s.forest
+}
+
+func (s rootScope) descCandidates() []*tree.Node {
+	var out []*tree.Node
+	for _, r := range s.childCandidates() {
+		r.Walk(func(n *tree.Node) bool {
+			out = append(out, n)
+			// The parameters of a call are the call's input, not
+			// document content: they only become query-visible if the
+			// call is invoked and happens to return them. Descendant
+			// enumeration therefore stops at call boundaries (pushed
+			// results have no element payload either).
+			return n.Kind != tree.Call && n.Kind != tree.Tuples
+		})
+	}
+	return out
+}
+
+// solution is one partial embedding: consistent variable bindings plus
+// captured result nodes.
+type solution struct {
+	vars map[string]string
+	caps map[int]*tree.Node
+}
+
+var emptySolution = solution{}
+
+func (s solution) withVar(name, value string) (solution, bool) {
+	if old, ok := s.vars[name]; ok {
+		return s, old == value
+	}
+	nv := make(map[string]string, len(s.vars)+1)
+	for k, v := range s.vars {
+		nv[k] = v
+	}
+	nv[name] = value
+	return solution{vars: nv, caps: s.caps}, true
+}
+
+func (s solution) withCap(id int, n *tree.Node) solution {
+	nc := make(map[int]*tree.Node, len(s.caps)+1)
+	for k, v := range s.caps {
+		nc[k] = v
+	}
+	nc[id] = n
+	return solution{vars: s.vars, caps: nc}
+}
+
+// merge combines two solutions if their variable bindings agree.
+// Solutions are immutable, so the empty-side fast paths may share the
+// other side's maps.
+func merge(a, b solution) (solution, bool) {
+	if len(a.vars) == 0 && len(a.caps) == 0 {
+		return b, true
+	}
+	if len(b.vars) == 0 && len(b.caps) == 0 {
+		return a, true
+	}
+	for k, v := range b.vars {
+		if old, ok := a.vars[k]; ok && old != v {
+			return solution{}, false
+		}
+	}
+	out := a
+	if len(b.vars) > 0 {
+		out.vars = make(map[string]string, len(a.vars)+len(b.vars))
+		for k, v := range a.vars {
+			out.vars[k] = v
+		}
+		for k, v := range b.vars {
+			out.vars[k] = v
+		}
+	}
+	if len(b.caps) > 0 {
+		out.caps = make(map[int]*tree.Node, len(a.caps)+len(b.caps))
+		for k, v := range a.caps {
+			out.caps[k] = v
+		}
+		for k, v := range b.caps {
+			out.caps[k] = v
+		}
+	}
+	return out, true
+}
+
+func (s solution) key() string {
+	var parts []string
+	for k, v := range s.vars {
+		parts = append(parts, "$"+k+"="+v)
+	}
+	for id, n := range s.caps {
+		parts = append(parts, itoa(id)+"@"+itoa(int(n.ID)))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func dedupe(sols []solution) []solution {
+	if len(sols) < 2 {
+		return sols
+	}
+	seen := make(map[string]bool, len(sols))
+	out := sols[:0]
+	for _, s := range sols {
+		k := s.key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+type memoKey struct {
+	qnode int
+	dnode *tree.Node
+}
+
+// memoEntry distinguishes "computed, no solutions" from "not computed".
+type memoEntry struct {
+	sols []solution
+}
+
+type evaluator struct {
+	q       *Pattern
+	memo    map[memoKey]*memoEntry
+	fps     map[int]string // query node ID → pushed-subquery fingerprint
+	desc    map[*tree.Node][]*tree.Node
+	order   map[int][]*Node // query node ID → cost-ordered children
+	visited int
+
+	// Pinning restricts embeddings to those mapping query node pinID to
+	// pinTarget; used by MatchedCallsPinned. pinTarget == nil disables it.
+	pinID     int
+	pinTarget *tree.Node
+}
+
+func newEvaluator(q *Pattern) *evaluator {
+	return &evaluator{
+		q:    q,
+		memo: map[memoKey]*memoEntry{},
+		fps:  map[int]string{},
+		desc: map[*tree.Node][]*tree.Node{},
+	}
+}
+
+func (ev *evaluator) finish(sols []solution) []Result {
+	resultVars := map[string]bool{}
+	resultNodes := map[int]bool{}
+	for _, n := range ev.q.ResultNodes() {
+		if n.Kind == Var {
+			resultVars[n.Label] = true
+		}
+		resultNodes[n.ID] = true
+	}
+	seen := map[string]bool{}
+	var out []Result
+	for _, s := range sols {
+		r := Result{Values: map[string]string{}, Nodes: map[int]*tree.Node{}}
+		for k, v := range s.vars {
+			if resultVars[k] {
+				r.Values[k] = v
+			}
+		}
+		for id, n := range s.caps {
+			if resultNodes[id] {
+				r.Nodes[id] = n
+			}
+		}
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// fingerprint returns (and caches) the canonical form of the subquery
+// rooted at query node v, for matching pushed-result tuples.
+func (ev *evaluator) fingerprint(v *Node) string {
+	if fp, ok := ev.fps[v.ID]; ok {
+		return fp
+	}
+	fp := ev.q.Fingerprint(v)
+	ev.fps[v.ID] = fp
+	return fp
+}
+
+// match returns the solutions for embedding the query subtree rooted at v
+// with v mapped to doc node n. Results are memoised: they only depend on
+// (v, n).
+func (ev *evaluator) match(v *Node, n *tree.Node) []solution {
+	key := memoKey{v.ID, n}
+	if e, ok := ev.memo[key]; ok {
+		return e.sols
+	}
+	e := &memoEntry{} // inserted before computing; trees have no cycles
+	ev.memo[key] = e
+	e.sols = ev.computeMatch(v, n)
+	return e.sols
+}
+
+func (ev *evaluator) computeMatch(v *Node, n *tree.Node) []solution {
+	ev.visited++
+	if ev.pinTarget != nil && v.ID == ev.pinID && n != ev.pinTarget {
+		return nil
+	}
+	switch v.Kind {
+	case Or:
+		// The chosen alternative takes the OR's position.
+		var sols []solution
+		for _, alt := range v.Children {
+			sols = append(sols, ev.match(alt, n)...)
+		}
+		return dedupe(sols)
+	case Const:
+		if !n.IsData() || n.Label != v.Label {
+			return nil
+		}
+	case Star:
+		if !n.IsData() {
+			return nil
+		}
+	case Var:
+		if !n.IsData() {
+			return nil
+		}
+	case Func:
+		if n.Kind != tree.Call {
+			return nil
+		}
+		if v.Label != AnyFunc && v.Label != n.Label {
+			return nil
+		}
+	default:
+		return nil // Root never matches a concrete node
+	}
+	sols := ev.matchChildren(v, rootScope{forest: []*tree.Node{n}})
+	if sols == nil {
+		return nil
+	}
+	// Extend with v's own contribution.
+	out := sols[:0:0]
+	for _, s := range sols {
+		if v.Kind == Var {
+			var ok bool
+			if s, ok = s.withVar(v.Label, n.Label); !ok {
+				continue
+			}
+		}
+		if v.Result {
+			s = s.withCap(v.ID, n)
+		}
+		out = append(out, s)
+	}
+	return dedupe(out)
+}
+
+// matchChildren embeds every child requirement of v, where v itself is
+// already mapped. The scope provides the candidate nodes: for a concrete
+// node it is that node's subtree; for the pattern anchor it is the
+// document root or forest.
+//
+// For an anchor scope, candidates for a Child-edge requirement are the
+// scope's roots; for a concrete node they are its children. Descendant
+// requirements range over proper descendants (or all forest nodes for the
+// anchor).
+func (ev *evaluator) matchChildren(v *Node, scope rootScope) []solution {
+	sols := []solution{emptySolution}
+	for _, c := range ev.ordered(v) {
+		childSols := ev.requirementSolutions(c, v.Kind == Root, scope)
+		if len(childSols) == 0 {
+			return nil
+		}
+		sols = joinSolutions(sols, childSols)
+		if len(sols) == 0 {
+			return nil
+		}
+	}
+	return sols
+}
+
+// ordered returns v's children cheapest-first, so a failing condition is
+// found before expensive descendant scans run. Joins are commutative and
+// solutions are canonically deduplicated, so the order cannot change the
+// result set. The ordering is computed once per query node and cached.
+func (ev *evaluator) ordered(v *Node) []*Node {
+	if len(v.Children) < 2 {
+		return v.Children
+	}
+	if cached, ok := ev.order[v.ID]; ok {
+		return cached
+	}
+	out := append([]*Node(nil), v.Children...)
+	cost := func(n *Node) int {
+		c := subtreeSize(n)
+		if n.Edge == Desc {
+			c *= 8 // a descendant scan touches the whole subtree
+		}
+		return c
+	}
+	sort.SliceStable(out, func(i, j int) bool { return cost(out[i]) < cost(out[j]) })
+	if ev.order == nil {
+		ev.order = map[int][]*Node{}
+	}
+	ev.order[v.ID] = out
+	return out
+}
+
+func subtreeSize(n *Node) int {
+	s := 1
+	for _, c := range n.Children {
+		s += subtreeSize(c)
+	}
+	return s
+}
+
+// requirementSolutions embeds a single child requirement c within the
+// scope: candidates are the scope's children or descendants according to
+// c's edge, with pushed-result nodes contributing virtual matches.
+func (ev *evaluator) requirementSolutions(c *Node, anchor bool, scope rootScope) []solution {
+	var candidates []*tree.Node
+	if c.Edge == Child {
+		if anchor {
+			candidates = scope.childCandidates()
+		} else {
+			candidates = scope.forest[0].Children
+		}
+	} else {
+		if anchor {
+			candidates = scope.descCandidates()
+		} else {
+			// Several query children commonly share a scope node;
+			// enumerate its descendants once per evaluation.
+			n := scope.forest[0]
+			if cached, ok := ev.desc[n]; ok {
+				candidates = cached
+			} else {
+				candidates = properDescendants(n)
+				ev.desc[n] = candidates
+			}
+		}
+	}
+	var childSols []solution
+	for _, cand := range candidates {
+		if cand.Kind == tree.Tuples {
+			childSols = append(childSols, ev.tupleSolutions(c, cand)...)
+			continue
+		}
+		childSols = append(childSols, ev.match(c, cand)...)
+	}
+	return dedupe(childSols)
+}
+
+// tupleSolutions yields the virtual matches a pushed-result node provides
+// for query requirement c: one solution per binding tuple, when the node's
+// recorded subquery fingerprint equals c's.
+func (ev *evaluator) tupleSolutions(c *Node, n *tree.Node) []solution {
+	// OR requirements delegate to their alternatives: the pushed query
+	// was one concrete subtree.
+	if c.Kind == Or {
+		var sols []solution
+		for _, alt := range c.Children {
+			sols = append(sols, ev.tupleSolutions(alt, n)...)
+		}
+		return sols
+	}
+	if n.PushedQuery == "" || n.PushedQuery != ev.fingerprint(c) {
+		return nil
+	}
+	sols := make([]solution, 0, len(n.PushedBindings))
+	for _, b := range n.PushedBindings {
+		s := solution{vars: map[string]string{}}
+		for k, val := range b {
+			s.vars[k] = val
+		}
+		sols = append(sols, s)
+	}
+	return sols
+}
+
+func joinSolutions(a, b []solution) []solution {
+	var out []solution
+	for _, sa := range a {
+		for _, sb := range b {
+			if m, ok := merge(sa, sb); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+// properDescendants enumerates the query-visible descendants of n: the
+// walk does not enter call parameters or pushed-result payloads (see
+// rootScope.descCandidates).
+func properDescendants(n *tree.Node) []*tree.Node {
+	var out []*tree.Node
+	for _, c := range n.Children {
+		c.Walk(func(x *tree.Node) bool {
+			out = append(out, x)
+			return x.Kind != tree.Call && x.Kind != tree.Tuples
+		})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds the query parser random byte soup: it must
+// return an error or a pattern, never panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Parse(%q) panicked: %v", input, r)
+				ok = false
+			}
+		}()
+		p, err := Parse(input)
+		if err == nil && p == nil {
+			return false
+		}
+		_, _ = ParseExact(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseNearMisses exercises inputs adjacent to valid syntax.
+func TestParseNearMisses(t *testing.T) {
+	inputs := []string{
+		"/", "//", "///", "/a//", "/a[", "/a[]", "/a[[]]", "/a]b", "/a!b",
+		"/a!!", "/$", "/$!", `/"`, `/""`, `/""/`, "/()", "/()()", "/(a",
+		"/(a|)", "/(|a)", "/()!", "/a->", "/a -> ", "/a -> $", "/a -> $X $Y",
+		"/a=$X", "/a==\"v\"", "/a[b=]", "/a[=b]", "/*!", "/*()", "/a()b",
+		"/a[b][", "/a//[b]", "/a/ /b", "/a\x00b", "/a[b=\"\\\"]",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Parse(in)
+		}()
+	}
+	// And a couple that must parse.
+	for _, in := range []string{"/()!", "/a", `/""`} {
+		func() {
+			defer func() { recover() }()
+			_, _ = Parse(in)
+		}()
+	}
+}
+
+// TestDeepQueryNoStackIssues parses and evaluates a very deep chain.
+func TestDeepQueryNoStackIssues(t *testing.T) {
+	q := "/a"
+	for i := 0; i < 500; i++ {
+		q += "/a"
+	}
+	p, err := Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes()) != 502 {
+		t.Fatalf("nodes = %d", len(p.Nodes()))
+	}
+	if p.String() == "" {
+		t.Fatal("render failed")
+	}
+}

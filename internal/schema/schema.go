@@ -1,0 +1,214 @@
+// Package schema implements the typing machinery of "Lazy Query Evaluation
+// for Active XML" (SIGMOD 2004): the DTD-like schemas of Figure 2 that
+// describe service signatures and element content models, and the
+// satisfiability analysis of Section 5 (Definition 6) that decides whether
+// a function's *derived* output instances can contribute to a query
+// subtree. A lenient, polynomial variant (Section 6.1) that ignores
+// cardinality and order is provided alongside the exact algorithm.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/activexml/axml/internal/regex"
+)
+
+// DataSymbol is the keyword standing for data values in content models and
+// signatures ("data" in Figure 2 of the paper).
+const DataSymbol = "data"
+
+// Signature is the input/output type of a Web service: regular expressions
+// over element, data and function symbols, as found in a WSDL description
+// extended with intensional-data information (Section 2 of the paper).
+type Signature struct {
+	// In describes the forest of parameters the service expects.
+	In regex.Expr
+	// Out describes the forest of trees the service returns. Function
+	// symbols in Out mean the result may embed calls to those services.
+	Out regex.Expr
+}
+
+// Schema is the τ of the paper: signatures for functions and content
+// models for elements. The structure of an element's children must match
+// its content model; a data value is a leaf.
+type Schema struct {
+	// Functions maps service names to their signatures.
+	Functions map[string]Signature
+	// Elements maps element names to their content models.
+	Elements map[string]regex.Expr
+}
+
+// New returns an empty schema ready to be populated.
+func New() *Schema {
+	return &Schema{Functions: map[string]Signature{}, Elements: map[string]regex.Expr{}}
+}
+
+// IsFunction reports whether the symbol names a declared service.
+func (s *Schema) IsFunction(name string) bool {
+	_, ok := s.Functions[name]
+	return ok
+}
+
+// IsElement reports whether the symbol names a declared element.
+func (s *Schema) IsElement(name string) bool {
+	_, ok := s.Elements[name]
+	return ok
+}
+
+// FunctionNames returns the declared service names, sorted.
+func (s *Schema) FunctionNames() []string {
+	out := make([]string, 0, len(s.Functions))
+	for n := range s.Functions {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Parse reads the textual schema syntax modelled on the paper's Figure 2:
+//
+//	functions:
+//	  getHotels  = [in: data, out: hotel*]
+//	  getRating  = [in: data, out: data]
+//	elements:
+//	  hotels  = hotel*.getHotels?
+//	  hotel   = name.address.rating.nearby
+//	  rating  = data|getRating
+//	  name    = data
+//
+// Lines starting with "#" are comments. Content models use the regex
+// package's DTD-like operators: "." concatenation, "|" alternation,
+// postfix "*", "+", "?", parentheses, and "#eps"/"#empty".
+func Parse(input string) (*Schema, error) {
+	s := New()
+	section := ""
+	for lineNo, raw := range strings.Split(input, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch line {
+		case "functions:":
+			section = "functions"
+			continue
+		case "elements:":
+			section = "elements"
+			continue
+		}
+		name, rhs, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("schema: line %d: expected 'name = ...', got %q", lineNo+1, line)
+		}
+		name = strings.TrimSpace(name)
+		rhs = strings.TrimSpace(rhs)
+		switch section {
+		case "functions":
+			sig, err := parseSignature(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("schema: line %d (%s): %w", lineNo+1, name, err)
+			}
+			if _, dup := s.Functions[name]; dup {
+				return nil, fmt.Errorf("schema: line %d: duplicate function %q", lineNo+1, name)
+			}
+			s.Functions[name] = sig
+		case "elements":
+			e, err := regex.Parse(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("schema: line %d (%s): %w", lineNo+1, name, err)
+			}
+			if _, dup := s.Elements[name]; dup {
+				return nil, fmt.Errorf("schema: line %d: duplicate element %q", lineNo+1, name)
+			}
+			s.Elements[name] = e
+		default:
+			return nil, fmt.Errorf("schema: line %d: %q outside of a functions:/elements: section", lineNo+1, line)
+		}
+	}
+	return s, nil
+}
+
+// MustParse is Parse panicking on error, for tests and literals.
+func MustParse(input string) *Schema {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseSignature(rhs string) (Signature, error) {
+	rhs = strings.TrimSpace(rhs)
+	if !strings.HasPrefix(rhs, "[") || !strings.HasSuffix(rhs, "]") {
+		return Signature{}, fmt.Errorf("signature must be of the form [in: ..., out: ...]")
+	}
+	body := rhs[1 : len(rhs)-1]
+	inPart, outPart, ok := strings.Cut(body, ",")
+	if !ok {
+		return Signature{}, fmt.Errorf("signature must contain in and out parts")
+	}
+	inStr, ok1 := strings.CutPrefix(strings.TrimSpace(inPart), "in:")
+	outStr, ok2 := strings.CutPrefix(strings.TrimSpace(outPart), "out:")
+	if !ok1 || !ok2 {
+		return Signature{}, fmt.Errorf("signature parts must be labelled in: and out:")
+	}
+	in, err := regex.Parse(strings.TrimSpace(inStr))
+	if err != nil {
+		return Signature{}, fmt.Errorf("in type: %w", err)
+	}
+	out, err := regex.Parse(strings.TrimSpace(outStr))
+	if err != nil {
+		return Signature{}, fmt.Errorf("out type: %w", err)
+	}
+	return Signature{In: in, Out: out}, nil
+}
+
+// Validate checks that every symbol mentioned in a content model or
+// signature is either "data", a declared element, or a declared function,
+// and returns an error listing the undefined ones.
+func (s *Schema) Validate() error {
+	var missing []string
+	seen := map[string]bool{}
+	check := func(e regex.Expr) {
+		for sym := range e.Symbols() {
+			if sym == DataSymbol || s.IsElement(sym) || s.IsFunction(sym) || seen[sym] {
+				continue
+			}
+			seen[sym] = true
+			missing = append(missing, sym)
+		}
+	}
+	for _, e := range s.Elements {
+		check(e)
+	}
+	for _, sig := range s.Functions {
+		check(sig.In)
+		check(sig.Out)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	return fmt.Errorf("schema: undefined symbols: %s", strings.Join(missing, ", "))
+}
+
+// String renders the schema back in the Parse syntax, deterministically.
+func (s *Schema) String() string {
+	var sb strings.Builder
+	sb.WriteString("functions:\n")
+	for _, n := range s.FunctionNames() {
+		sig := s.Functions[n]
+		fmt.Fprintf(&sb, "  %s = [in: %s, out: %s]\n", n, sig.In, sig.Out)
+	}
+	sb.WriteString("elements:\n")
+	names := make([]string, 0, len(s.Elements))
+	for n := range s.Elements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %s = %s\n", n, s.Elements[n])
+	}
+	return sb.String()
+}

@@ -1,0 +1,105 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/activexml/axml/internal/regex"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// ValidateDocument checks an AXML document against the schema: every
+// declared element's children must match its content model, with function
+// nodes standing for their own names (so a content model like
+// "data|getRating" admits either a value or an embedded call), and every
+// call to a declared service must have parameters matching its input
+// type. Elements and services the schema does not declare are not
+// checked — AXML schemas are open, like the paper's τ, which only
+// constrains the symbols it mentions.
+//
+// The returned error aggregates every violation, one per line, or is nil
+// when the document conforms.
+func (s *Schema) ValidateDocument(doc *tree.Document) error {
+	v := &docValidator{schema: s, content: map[string]*regex.NFA{}, inputs: map[string]*regex.NFA{}}
+	v.check(doc.Root)
+	if len(v.violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("schema: document violates the schema:\n  %s",
+		strings.Join(v.violations, "\n  "))
+}
+
+type docValidator struct {
+	schema     *Schema
+	content    map[string]*regex.NFA
+	inputs     map[string]*regex.NFA
+	violations []string
+}
+
+func (v *docValidator) violate(n *tree.Node, format string, args ...any) {
+	v.violations = append(v.violations,
+		fmt.Sprintf("%s: %s", n.PathString(), fmt.Sprintf(format, args...)))
+}
+
+func (v *docValidator) check(n *tree.Node) {
+	switch n.Kind {
+	case tree.Element:
+		if model, ok := v.schema.Elements[n.Label]; ok {
+			nfa := v.content[n.Label]
+			if nfa == nil {
+				nfa = regex.Compile(model)
+				v.content[n.Label] = nfa
+			}
+			word, ok := childWord(n)
+			if !ok {
+				v.violate(n, "mixed pushed-result content cannot be typed")
+			} else if !nfa.Matches(word) {
+				v.violate(n, "children [%s] do not match content model %s",
+					strings.Join(word, " "), model)
+			}
+		}
+		for _, c := range n.Children {
+			v.check(c)
+		}
+	case tree.Call:
+		if sig, ok := v.schema.Functions[n.Label]; ok {
+			nfa := v.inputs[n.Label]
+			if nfa == nil {
+				nfa = regex.Compile(sig.In)
+				v.inputs[n.Label] = nfa
+			}
+			word, ok := childWord(n)
+			if !ok {
+				v.violate(n, "pushed results cannot be call parameters")
+			} else if !nfa.Matches(word) {
+				v.violate(n, "parameters [%s] do not match input type %s",
+					strings.Join(word, " "), sig.In)
+			}
+		}
+		// Parameters are themselves AXML trees: validate them too.
+		for _, c := range n.Children {
+			v.check(c)
+		}
+	case tree.Text, tree.Tuples:
+		// Leaves; Tuples payloads are engine-internal.
+	}
+}
+
+// childWord maps a node's children to the symbol word its content model
+// must accept: element names, function names, and "data" for text leaves.
+// Pushed-result nodes have no schema-level symbol, so a false return
+// flags them.
+func childWord(n *tree.Node) ([]string, bool) {
+	word := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		switch c.Kind {
+		case tree.Element, tree.Call:
+			word = append(word, c.Label)
+		case tree.Text:
+			word = append(word, DataSymbol)
+		default:
+			return nil, false
+		}
+	}
+	return word, true
+}

@@ -1,0 +1,112 @@
+package soap
+
+import (
+	"fmt"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// RecursivePush upgrades a registry for peer deployment: services whose
+// results embed further calls (and therefore cannot honour a pushed query
+// directly — see service.Service.CanPush) are wrapped so that, when a
+// query is pushed, the provider first materialises its own result by
+// resolving the embedded calls against its *own* registry, then evaluates
+// the pushed query over the materialised forest and returns binding
+// tuples.
+//
+// This models the ActiveXML peer-to-peer deployment, where every provider
+// is itself an AXML system able to resolve its intensional data before
+// answering (the setting of Section 7 of the paper). maxCalls bounds the
+// materialisation, mirroring the engine's own termination budget.
+//
+// The returned registry contains a wrapper for every service of reg;
+// wrapped services advertise CanPush.
+func RecursivePush(reg *service.Registry, maxCalls int) *service.Registry {
+	out := service.NewRegistry()
+	for _, name := range reg.Names() {
+		svc := reg.Lookup(name)
+		wrapped := &service.Service{
+			Name:    svc.Name,
+			Latency: svc.Latency,
+			CanPush: true,
+		}
+		wrapped.Remote = func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+			resp, err := reg.Invoke(svc.Name, params, nil)
+			if err != nil {
+				return service.Response{}, err
+			}
+			if pushed == nil {
+				return resp, nil
+			}
+			forest, err := materialise(reg, resp.Forest, maxCalls)
+			if err != nil {
+				return service.Response{}, err
+			}
+			results, _ := pattern.EvalForest(forest, pushed)
+			bindings := make([]tree.Binding, 0, len(results))
+			for _, r := range results {
+				b := tree.Binding{}
+				for k, v := range r.Values {
+					b[k] = v
+				}
+				bindings = append(bindings, b)
+			}
+			tu := tree.NewTuples(pushed.String(), bindings)
+			data, err := tree.Marshal(tu)
+			if err != nil {
+				return service.Response{}, err
+			}
+			return service.Response{
+				Forest:  []*tree.Node{tu},
+				Bytes:   len(data),
+				Latency: svc.Latency,
+				Pushed:  true,
+			}, nil
+		}
+		out.Register(wrapped)
+	}
+	return out
+}
+
+// materialise resolves every call embedded in the forest, recursively, by
+// invoking the registry — the provider-side fixpoint.
+func materialise(reg *service.Registry, forest []*tree.Node, maxCalls int) ([]*tree.Node, error) {
+	root := tree.NewElement("materialise")
+	for _, n := range forest {
+		root.Append(n)
+	}
+	doc := tree.NewDocument(root)
+	invoked := 0
+	for {
+		calls := doc.Calls()
+		if len(calls) == 0 {
+			break
+		}
+		for _, c := range calls {
+			if invoked >= maxCalls {
+				return nil, fmt.Errorf("soap: recursive push exceeded %d call budget", maxCalls)
+			}
+			invoked++
+			resp, err := reg.Invoke(c.Label, cloneForest(c.Children), nil)
+			if err != nil {
+				return nil, err
+			}
+			doc.ReplaceCall(c, resp.Forest)
+		}
+	}
+	out := append([]*tree.Node(nil), root.Children...)
+	for _, n := range out {
+		n.Parent = nil
+	}
+	return out, nil
+}
+
+func cloneForest(ns []*tree.Node) []*tree.Node {
+	out := make([]*tree.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}

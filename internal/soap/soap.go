@@ -1,0 +1,374 @@
+// Package soap exposes a service registry over HTTP with a small XML
+// envelope, in the spirit of the Web-services standards the ActiveXML
+// system builds on (Section 8 of "Lazy Query Evaluation for Active XML",
+// SIGMOD 2004). It provides both sides of the wire:
+//
+//   - Server wraps a service.Registry into an http.Handler: one endpoint
+//     per service, a descriptor document listing the available services
+//     (a WSDL-lite), and optional simulated latency.
+//   - Client invokes remote services; Proxy packages a remote endpoint as
+//     a service.Service so the evaluation engine uses HTTP providers
+//     exactly like local ones, including server-side query pushing
+//     (Section 7): the pushed pattern travels in the envelope and the
+//     provider returns binding tuples.
+//
+// The envelope is deliberately simple XML, not full SOAP 1.1 — the paper's
+// techniques do not depend on the envelope details, only on XML transport
+// and service descriptors:
+//
+//	request:  <invoke service="getNearbyRestos" query="...optional...">
+//	             <params> ...parameter forest... </params>
+//	          </invoke>
+//	response: <response pushed="true|false"> ...result forest... </response>
+//	fault:    <fault>message</fault>  (with a non-2xx status code)
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Server serves a registry over HTTP.
+type Server struct {
+	reg *service.Registry
+	// sleep makes the server physically wait each service's configured
+	// latency before answering, so remote experiments feel real costs.
+	sleep bool
+}
+
+// NewServer wraps a registry. When sleepLatency is set, each invocation
+// blocks for the service's configured latency before responding.
+func NewServer(reg *service.Registry, sleepLatency bool) *Server {
+	return &Server{reg: reg, sleep: sleepLatency}
+}
+
+// ServeHTTP implements http.Handler:
+//
+//	GET  /services            → descriptor of all services
+//	POST /services/<name>     → invoke <name> with an envelope body
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/services":
+		s.describe(w)
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/services/"):
+		s.invoke(w, r, strings.TrimPrefix(r.URL.Path, "/services/"))
+	default:
+		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path))
+	}
+}
+
+// describe writes the WSDL-lite service descriptor.
+func (s *Server) describe(w http.ResponseWriter) {
+	var sb strings.Builder
+	sb.WriteString("<services>")
+	for _, name := range s.reg.Names() {
+		svc := s.reg.Lookup(name)
+		fmt.Fprintf(&sb, `<service name=%q push="%t" latencyMs="%d"/>`,
+			name, svc.CanPush, svc.Latency.Milliseconds())
+	}
+	sb.WriteString("</services>")
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, sb.String())
+}
+
+func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, "unreadable body: "+err.Error())
+		return
+	}
+	params, pushed, err := decodeInvoke(body, name)
+	if err != nil {
+		writeFault(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	svc := s.reg.Lookup(name)
+	if svc == nil {
+		writeFault(w, http.StatusNotFound, fmt.Sprintf("unknown service %q", name))
+		return
+	}
+	resp, err := s.reg.Invoke(name, params, pushed)
+	if err != nil {
+		writeFault(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if s.sleep {
+		time.Sleep(svc.Latency)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<response pushed="%t">`, resp.Pushed)
+	for _, n := range resp.Forest {
+		b, err := tree.Marshal(n)
+		if err != nil {
+			writeFault(w, http.StatusInternalServerError, "marshal: "+err.Error())
+			return
+		}
+		sb.Write(b)
+	}
+	sb.WriteString("</response>")
+	w.Header().Set("Content-Type", "application/xml")
+	io.WriteString(w, sb.String())
+}
+
+func writeFault(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(code)
+	var sb strings.Builder
+	if err := xml.EscapeText(&sb, []byte(msg)); err != nil {
+		sb.Reset()
+		sb.WriteString("internal error")
+	}
+	io.WriteString(w, "<fault>"+sb.String()+"</fault>")
+}
+
+// EncodeInvoke builds the request envelope for an invocation.
+func EncodeInvoke(serviceName string, params []*tree.Node, pushed *pattern.Pattern) ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteString(`<invoke service="`)
+	if err := xml.EscapeText(&sb, []byte(serviceName)); err != nil {
+		return nil, err
+	}
+	sb.WriteString(`"`)
+	if pushed != nil {
+		sb.WriteString(` query="`)
+		if err := xml.EscapeText(&sb, []byte(pushed.String())); err != nil {
+			return nil, err
+		}
+		sb.WriteString(`"`)
+	}
+	sb.WriteString("><params>")
+	for _, p := range params {
+		b, err := tree.Marshal(p)
+		if err != nil {
+			return nil, err
+		}
+		sb.Write(b)
+	}
+	sb.WriteString("</params></invoke>")
+	return []byte(sb.String()), nil
+}
+
+// decodeInvoke parses the request envelope. The name in the URL must
+// match the envelope's service attribute when present.
+func decodeInvoke(body []byte, urlName string) ([]*tree.Node, *pattern.Pattern, error) {
+	roots, err := tree.UnmarshalForest(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad envelope: %w", err)
+	}
+	if len(roots) != 1 || roots[0].Label != "invoke" {
+		return nil, nil, fmt.Errorf("bad envelope: expected a single <invoke> element")
+	}
+	// tree.UnmarshalForest drops attributes, so re-decode them here.
+	svcName, queryText, err := invokeAttrs(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if svcName != "" && svcName != urlName {
+		return nil, nil, fmt.Errorf("envelope service %q does not match endpoint %q", svcName, urlName)
+	}
+	var pushed *pattern.Pattern
+	if queryText != "" {
+		pushed, err = pattern.ParseExact(queryText)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad pushed query: %w", err)
+		}
+	}
+	var params []*tree.Node
+	if p := roots[0].Child("params"); p != nil {
+		params = append(params, p.Children...)
+		for _, c := range params {
+			c.Parent = nil
+		}
+	}
+	return params, pushed, nil
+}
+
+// invokeAttrs extracts the service and query attributes of the top-level
+// invoke element.
+func invokeAttrs(body []byte) (svc, query string, err error) {
+	dec := xml.NewDecoder(bytes.NewReader(body))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", "", fmt.Errorf("bad envelope: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			for _, a := range se.Attr {
+				switch a.Name.Local {
+				case "service":
+					svc = a.Value
+				case "query":
+					query = a.Value
+				}
+			}
+			return svc, query, nil
+		}
+	}
+}
+
+// Client invokes services of one remote provider.
+type Client struct {
+	// BaseURL is the provider root, e.g. "http://host:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Invoke calls the named remote service. The returned response reports
+// the on-the-wire size of the result payload and whether the provider
+// applied the pushed query.
+func (c *Client) Invoke(name string, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+	body, err := EncodeInvoke(name, params, pushed)
+	if err != nil {
+		return service.Response{}, err
+	}
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/services/" + name
+	httpResp, err := c.httpClient().Post(url, "application/xml", bytes.NewReader(body))
+	if err != nil {
+		return service.Response{}, fmt.Errorf("soap: POST %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return service.Response{}, fmt.Errorf("soap: read response: %w", err)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return service.Response{}, fmt.Errorf("soap: %s: %s: %s", url, httpResp.Status, faultMessage(payload))
+	}
+	roots, err := tree.UnmarshalForest(payload)
+	if err != nil {
+		return service.Response{}, fmt.Errorf("soap: bad response envelope: %w", err)
+	}
+	if len(roots) != 1 || roots[0].Label != "response" {
+		return service.Response{}, fmt.Errorf("soap: expected a single <response> element")
+	}
+	wasPushed, err := responsePushedAttr(payload)
+	if err != nil {
+		return service.Response{}, err
+	}
+	forest := roots[0].Children
+	for _, n := range forest {
+		n.Parent = nil
+	}
+	return service.Response{
+		Forest: forest,
+		Bytes:  len(payload),
+		Pushed: wasPushed,
+	}, nil
+}
+
+// responsePushedAttr reads the pushed attribute of the top-level response
+// element.
+func responsePushedAttr(payload []byte) (bool, error) {
+	dec := xml.NewDecoder(bytes.NewReader(payload))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return false, fmt.Errorf("soap: bad response envelope: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			for _, a := range se.Attr {
+				if a.Name.Local == "pushed" {
+					return a.Value == "true", nil
+				}
+			}
+			return false, nil
+		}
+	}
+}
+
+func faultMessage(payload []byte) string {
+	roots, err := tree.UnmarshalForest(payload)
+	if err == nil && len(roots) == 1 && roots[0].Label == "fault" {
+		return roots[0].Text()
+	}
+	return strings.TrimSpace(string(payload))
+}
+
+// Describe fetches the provider's service descriptor: names, push
+// capability and advertised latency.
+func (c *Client) Describe() ([]ServiceInfo, error) {
+	url := strings.TrimSuffix(c.BaseURL, "/") + "/services"
+	httpResp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("soap: GET %s: %w", url, err)
+	}
+	defer httpResp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Services []struct {
+			Name      string `xml:"name,attr"`
+			Push      bool   `xml:"push,attr"`
+			LatencyMs int64  `xml:"latencyMs,attr"`
+		} `xml:"service"`
+	}
+	if err := xml.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("soap: bad descriptor: %w", err)
+	}
+	out := make([]ServiceInfo, 0, len(doc.Services))
+	for _, s := range doc.Services {
+		out = append(out, ServiceInfo{
+			Name:    s.Name,
+			CanPush: s.Push,
+			Latency: time.Duration(s.LatencyMs) * time.Millisecond,
+		})
+	}
+	return out, nil
+}
+
+// ServiceInfo is one entry of a provider descriptor.
+type ServiceInfo struct {
+	Name    string
+	CanPush bool
+	Latency time.Duration
+}
+
+// Proxy returns a service.Service backed by the remote provider, ready to
+// be registered in a local registry: the engine then invokes the remote
+// service transparently, with pushing decided by the provider.
+func (c *Client) Proxy(info ServiceInfo) *service.Service {
+	return &service.Service{
+		Name:    info.Name,
+		Latency: info.Latency,
+		CanPush: info.CanPush,
+		Remote: func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+			if !info.CanPush {
+				pushed = nil
+			}
+			return c.Invoke(info.Name, params, pushed)
+		},
+	}
+}
+
+// RegistryFor builds a local registry proxying every service the provider
+// describes.
+func (c *Client) RegistryFor() (*service.Registry, error) {
+	infos, err := c.Describe()
+	if err != nil {
+		return nil, err
+	}
+	reg := service.NewRegistry()
+	for _, info := range infos {
+		reg.Register(c.Proxy(info))
+	}
+	return reg, nil
+}

@@ -1,0 +1,165 @@
+// Package store implements a file-backed repository of AXML documents,
+// the persistence layer of an ActiveXML peer: documents live as .axml
+// files in a directory, writes are atomic (temp file + rename), and names
+// are validated so a repository cannot be escaped through path tricks.
+//
+// Lazy evaluation interacts with the repository naturally: load a
+// document, evaluate (materialising only the relevant parts), and store
+// the enriched document back — subsequent queries start from the already
+// materialised state, which is how the ActiveXML system amortises service
+// calls across queries.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Extension is the file suffix of stored documents.
+const Extension = ".axml"
+
+// Store is a document repository rooted at one directory. It is safe for
+// concurrent use by multiple goroutines of one process; cross-process
+// safety relies on the atomicity of rename.
+type Store struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+// Open prepares a repository at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the repository root.
+func (s *Store) Dir() string { return s.dir }
+
+// validName guards against path traversal and unusable names.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty document name")
+	}
+	for _, c := range name {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("store: invalid document name %q", name)
+		}
+	}
+	if strings.Contains(name, "..") {
+		return fmt.Errorf("store: invalid document name %q", name)
+	}
+	return nil
+}
+
+func (s *Store) path(name string) string {
+	return filepath.Join(s.dir, name+Extension)
+}
+
+// Put stores the document under the given name, atomically replacing any
+// previous version.
+func (s *Store) Put(name string, doc *tree.Document) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	data, err := tree.MarshalIndent(doc.Root)
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", name, err)
+	}
+	data = append(data, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	if err := os.Rename(tmpName, s.path(name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	return nil
+}
+
+// Get loads a document by name.
+func (s *Store) Get(name string) (*tree.Document, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	data, err := os.ReadFile(s.path(name))
+	s.mu.RUnlock()
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", name, err)
+	}
+	doc, err := tree.Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: get %s: %w", name, err)
+	}
+	return doc, nil
+}
+
+// Exists reports whether a document is stored under the name.
+func (s *Store) Exists(name string) bool {
+	if validName(name) != nil {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, err := os.Stat(s.path(name))
+	return err == nil
+}
+
+// Delete removes a stored document; deleting a missing document errors.
+func (s *Store) Delete(name string) error {
+	if err := validName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(name)); err != nil {
+		return fmt.Errorf("store: delete %s: %w", name, err)
+	}
+	return nil
+}
+
+// List returns the stored document names, sorted.
+func (s *Store) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name, ok := strings.CutSuffix(e.Name(), Extension)
+		if !ok || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

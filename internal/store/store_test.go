@@ -1,0 +1,244 @@
+package store
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir() + "/repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleDoc(t *testing.T) *tree.Document {
+	t.Helper()
+	d, err := tree.Unmarshal([]byte(
+		`<r><a>v</a><axml:call service="f"><p>1</p></axml:call></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	doc := sampleDoc(t)
+	if err := s.Put("sample", doc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Get("sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Root.Equal(back.Root) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestOverwriteIsAtomicReplace(t *testing.T) {
+	s := open(t)
+	if err := s.Put("d", sampleDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	v2 := tree.NewDocument(tree.NewElement("other"))
+	if err := s.Put("d", v2); err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Root.Label != "other" {
+		t.Fatalf("overwrite lost: %s", back.Root.Label)
+	}
+}
+
+func TestListExistsDelete(t *testing.T) {
+	s := open(t)
+	for _, n := range []string{"b", "a", "c"} {
+		if err := s.Put(n, sampleDoc(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("List = %v", names)
+	}
+	if !s.Exists("a") || s.Exists("zzz") {
+		t.Fatal("Exists misreports")
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Exists("b") {
+		t.Fatal("deleted document still exists")
+	}
+	if err := s.Delete("b"); err == nil {
+		t.Fatal("double delete should error")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	s := open(t)
+	for _, bad := range []string{"", "../escape", "a/b", "a b", "läbel", "x..y"} {
+		if err := s.Put(bad, sampleDoc(t)); err == nil {
+			t.Errorf("Put(%q): expected error", bad)
+		}
+		if _, err := s.Get(bad); err == nil {
+			t.Errorf("Get(%q): expected error", bad)
+		}
+		if s.Exists(bad) {
+			t.Errorf("Exists(%q) = true", bad)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := open(t)
+	if _, err := s.Get("nope"); err == nil {
+		t.Fatal("missing document should error")
+	}
+}
+
+func TestConcurrentPutsAndGets(t *testing.T) {
+	s := open(t)
+	if err := s.Put("d", sampleDoc(t)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				if err := s.Put("d", sampleDoc(t)); err != nil {
+					t.Error(err)
+				}
+				return
+			}
+			if _, err := s.Get("d"); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestAmortisedMaterialisation is the repository's reason to exist: a
+// lazily materialised document stored back answers the same query later
+// without any further service call.
+func TestAmortisedMaterialisation(t *testing.T) {
+	s := open(t)
+	w := workload.Hotels(workload.DefaultSpec())
+	doc := w.Doc.Clone()
+	first, err := core.Evaluate(doc, w.Query, w.Registry, core.Options{Strategy: core.LazyNFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CallsInvoked == 0 {
+		t.Fatal("first evaluation should invoke calls")
+	}
+	if err := s.Put("hotels", doc); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := s.Get("hotels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := core.Evaluate(reloaded, w.Query, w.Registry, core.Options{Strategy: core.LazyNFQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.CallsInvoked != 0 {
+		t.Fatalf("stored materialised document re-invoked %d calls", second.Stats.CallsInvoked)
+	}
+	if len(second.Results) != len(first.Results) {
+		t.Fatalf("results drifted across storage: %d vs %d", len(second.Results), len(first.Results))
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	// A file where the directory should be.
+	base := t.TempDir()
+	file := base + "/occupied"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file + "/sub"); err == nil {
+		t.Fatal("Open under a file must fail")
+	}
+	s, err := Open(base + "/ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dir() != base+"/ok" {
+		t.Fatalf("Dir = %q", s.Dir())
+	}
+	// Reopening an existing repository works.
+	if _, err := Open(base + "/ok"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutIntoUnwritableDir(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("root ignores permissions")
+	}
+	dir := t.TempDir() + "/ro"
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if err := s.Put("d", sampleDoc(t)); err == nil {
+		t.Fatal("Put into read-only dir must fail")
+	}
+}
+
+func TestGetCorruptDocument(t *testing.T) {
+	s := open(t)
+	if err := os.WriteFile(s.Dir()+"/bad"+Extension, []byte("<a><b>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("bad"); err == nil {
+		t.Fatal("corrupt document must fail to load")
+	}
+	// Corrupt files still show in List (they exist).
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "bad" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestListIgnoresForeignEntries(t *testing.T) {
+	s := open(t)
+	os.MkdirAll(s.Dir()+"/subdir", 0o755)
+	os.WriteFile(s.Dir()+"/notes.txt", []byte("x"), 0o644)
+	os.WriteFile(s.Dir()+"/.hidden"+Extension, []byte("x"), 0o644)
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 0 {
+		t.Fatalf("List picked up foreign entries: %v", names)
+	}
+}

@@ -1,0 +1,168 @@
+// Package subscribe implements continuous queries over Active XML
+// documents: a Watcher re-evaluates a query's *full* result (lazily, via
+// the core engine) as the document's intensional parts evolve — typically
+// driven by the activation package's periodic refreshes — and reports the
+// difference to a callback. It is the subscription layer an AXML portal
+// builds on: "which answers appeared or disappeared since I last looked".
+//
+// Each poll evaluates against a clone of the controlled document, so lazy
+// materialisation during evaluation never interferes with the activation
+// controller's management of the live document (periodic calls must
+// survive in place).
+package subscribe
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/activexml/axml/internal/activation"
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// Change reports how the result set moved between two polls.
+type Change struct {
+	// Added holds results present now but not at the previous poll.
+	Added []pattern.Result
+	// Removed holds results present previously but gone now.
+	Removed []pattern.Result
+	// Size is the current result-set size.
+	Size int
+}
+
+// Watcher is one continuous query.
+type Watcher struct {
+	mu   sync.Mutex
+	ctl  *activation.Controller
+	q    *pattern.Pattern
+	reg  *service.Registry
+	opt  core.Options
+	fn   func(Change)
+	last map[string]pattern.Result
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Watch registers a continuous query over the controller's document. The
+// callback fires from Poll (or the background loop) whenever the result
+// set changed; the first poll reports every result as Added.
+func Watch(ctl *activation.Controller, q *pattern.Pattern, reg *service.Registry, opt core.Options, fn func(Change)) *Watcher {
+	return &Watcher{ctl: ctl, q: q, reg: reg, opt: opt, fn: fn, last: map[string]pattern.Result{}}
+}
+
+// Poll evaluates the query once and fires the callback if the result set
+// changed since the previous poll.
+func (w *Watcher) Poll() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var results []pattern.Result
+	policies := w.ctl.Policies() // snapshot: the controller lock is not reentrant
+	err := w.ctl.WithDocument(func(doc *tree.Document) error {
+		clone := doc.Clone()
+		// Periodic calls are the refresh *mechanism*; their data is what
+		// the controller already materialised next to them. Evaluating
+		// them again would double-fetch (and see a different instant),
+		// so they are dropped from the evaluation clone.
+		for _, call := range clone.Calls() {
+			if policies[call.Label].Mode == activation.Periodic {
+				clone.ReplaceCall(call, nil)
+			}
+		}
+		out, err := core.Evaluate(clone, w.q, w.reg, w.opt)
+		if err != nil {
+			return err
+		}
+		results = out.Results
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	current := map[string]pattern.Result{}
+	for _, r := range results {
+		current[semanticKey(r)] = r
+	}
+	var change Change
+	for k, r := range current {
+		if _, ok := w.last[k]; !ok {
+			change.Added = append(change.Added, r)
+		}
+	}
+	for k, r := range w.last {
+		if _, ok := current[k]; !ok {
+			change.Removed = append(change.Removed, r)
+		}
+	}
+	w.last = current
+	change.Size = len(current)
+	if len(change.Added) > 0 || len(change.Removed) > 0 {
+		sortResults(change.Added)
+		sortResults(change.Removed)
+		w.fn(change)
+	}
+	return nil
+}
+
+// semanticKey identifies a result by its variable bindings — stable
+// across re-evaluations, unlike document node identities.
+func semanticKey(r pattern.Result) string {
+	parts := make([]string, 0, len(r.Values))
+	for k, v := range r.Values {
+		parts = append(parts, "$"+k+"="+v)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+func sortResults(rs []pattern.Result) {
+	sort.Slice(rs, func(i, j int) bool { return semanticKey(rs[i]) < semanticKey(rs[j]) })
+}
+
+// Start launches a background loop: every tick it lets the controller
+// refresh due periodic calls, then polls. Errors end the loop.
+func (w *Watcher) Start(tick time.Duration) {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return
+	}
+	w.stop = make(chan struct{})
+	w.done = make(chan struct{})
+	stop, done := w.stop, w.done
+	w.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				if _, err := w.ctl.RefreshDue(now); err != nil {
+					return
+				}
+				if err := w.Poll(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates the background loop and waits for it.
+func (w *Watcher) Stop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}

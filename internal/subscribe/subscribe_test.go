@@ -1,0 +1,150 @@
+package subscribe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/activation"
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// flights builds a departures board whose status section is periodic: the
+// service's answers rotate deterministically with each invocation.
+func flights(t *testing.T) (*activation.Controller, *service.Registry, *pattern.Pattern, *sync.Mutex, *int) {
+	t.Helper()
+	var mu sync.Mutex
+	round := 0
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{
+		Name: "getStatus",
+		Handler: func(params []*tree.Node) ([]*tree.Node, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			round++
+			status := "boarding"
+			if round%2 == 0 {
+				status = "delayed"
+			}
+			s := tree.NewElement("status")
+			s.Append(tree.NewText(status))
+			return []*tree.Node{s}, nil
+		},
+	})
+	root := tree.NewElement("board")
+	f := root.Append(tree.NewElement("flight"))
+	f.Append(tree.NewElement("code")).Append(tree.NewText("AX-42"))
+	f.Append(tree.NewCall("getStatus", tree.NewText("AX-42")))
+	doc := tree.NewDocument(root)
+	ctl := activation.NewController(doc, reg)
+	if err := ctl.SetPolicy("getStatus", activation.Policy{Mode: activation.Periodic, Interval: time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	q := pattern.MustParse(`/board/flight[status="boarding"][code=$C] -> $C`)
+	return ctl, reg, q, &mu, &round
+}
+
+func TestPollReportsChanges(t *testing.T) {
+	ctl, reg, q, _, _ := flights(t)
+	var changes []Change
+	w := Watch(ctl, q, reg, core.Options{Strategy: core.LazyNFQ}, func(c Change) {
+		changes = append(changes, c)
+	})
+	now := time.Now()
+	// Round 1: boarding → the result appears.
+	if _, err := ctl.RefreshDue(now); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || len(changes[0].Added) != 1 || changes[0].Added[0].Values["C"] != "AX-42" {
+		t.Fatalf("first change = %+v", changes)
+	}
+	// No refresh: polling again reports nothing.
+	if err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 {
+		t.Fatalf("idle poll fired a change: %+v", changes)
+	}
+	// Round 2: delayed → the result disappears.
+	if _, err := ctl.RefreshDue(now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 || len(changes[1].Removed) != 1 || changes[1].Size != 0 {
+		t.Fatalf("second change = %+v", changes)
+	}
+}
+
+func TestPollDoesNotDisturbPeriodicCalls(t *testing.T) {
+	ctl, reg, q, _, _ := flights(t)
+	w := Watch(ctl, q, reg, core.Options{Strategy: core.LazyNFQ}, func(Change) {})
+	if _, err := ctl.RefreshDue(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// The live document still holds the periodic call (polls evaluate
+	// clones).
+	err := ctl.WithDocument(func(doc *tree.Document) error {
+		if len(doc.Calls()) != 1 {
+			t.Fatalf("periodic call lost: %d calls", len(doc.Calls()))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	ctl, reg, q, _, _ := flights(t)
+	var mu sync.Mutex
+	fired := 0
+	w := Watch(ctl, q, reg, core.Options{Strategy: core.LazyNFQ}, func(Change) {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	w.Start(2 * time.Millisecond)
+	w.Start(2 * time.Millisecond) // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := fired
+		mu.Unlock()
+		if n >= 2 { // appeared, then disappeared (status alternates)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d changes in 2s", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.Stop()
+	w.Stop() // idempotent
+}
+
+func TestPollPropagatesErrors(t *testing.T) {
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{Name: "boom", Handler: func([]*tree.Node) ([]*tree.Node, error) {
+		return nil, errors.New("down")
+	}})
+	root := tree.NewElement("r")
+	root.Append(tree.NewElement("a")).Append(tree.NewCall("boom"))
+	ctl := activation.NewController(tree.NewDocument(root), reg)
+	q := pattern.MustParse(`/r/a/"v"`)
+	w := Watch(ctl, q, reg, core.Options{Strategy: core.LazyNFQ}, func(Change) {})
+	if err := w.Poll(); err == nil {
+		t.Fatal("evaluation error must surface")
+	}
+}

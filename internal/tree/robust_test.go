@@ -1,0 +1,73 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestUnmarshalNeverPanics feeds the decoder random bytes: errors are
+// fine, panics are not.
+func TestUnmarshalNeverPanics(t *testing.T) {
+	f := func(input []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("Unmarshal(%q) panicked: %v", input, r)
+				ok = false
+			}
+		}()
+		_, _ = Unmarshal(input)
+		_, _ = UnmarshalForest(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalNearMisses(t *testing.T) {
+	inputs := []string{
+		"<",
+		"<a", "<a>", "</a>", "<a></b>", "<a/><b",
+		`<a attr=">`,
+		`<axml:call/>`,
+		`<r><call xmlns="http://activexml.net/2004/calls"/></r>`,
+		`<r><tuples xmlns="http://activexml.net/2004/calls"><tuple><x><y/></x></tuple></tuples></r>`,
+		"<a>&nonsense;</a>",
+		"<?xml bad",
+		"<!-- unterminated",
+		strings.Repeat("<a>", 2000) + strings.Repeat("</a>", 2000),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Unmarshal(%.40q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = Unmarshal([]byte(in))
+		}()
+	}
+}
+
+func TestDeepDocumentOperations(t *testing.T) {
+	// A 2000-deep chain must survive parse, walk, marshal and clone.
+	in := strings.Repeat("<a>", 2000) + "<axml:call service=\"f\"/>" + strings.Repeat("</a>", 2000)
+	d, err := Unmarshal([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Size(); got != 2001 {
+		t.Fatalf("size = %d", got)
+	}
+	c := d.Calls()
+	if len(c) != 1 || c[0].Depth() != 2000 {
+		t.Fatalf("call depth = %d", c[0].Depth())
+	}
+	if _, err := Marshal(d.Root); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Root.Equal(d.Clone().Root) {
+		t.Fatal("deep clone mismatch")
+	}
+}

@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/tree"
+)
+
+func TestDefaultSpecWorld(t *testing.T) {
+	w := Hotels(DefaultSpec())
+	if w.Doc == nil || w.Registry == nil || w.Schema == nil || w.Query == nil {
+		t.Fatal("incomplete world")
+	}
+	if err := w.Schema.Validate(); err != nil {
+		t.Fatalf("schema invalid: %v", err)
+	}
+	// 40 hotels plus the getHotels call at top level.
+	if got := len(w.Doc.Root.Children); got != 41 {
+		t.Fatalf("top-level children = %d", got)
+	}
+	// Deterministic: two builds are structurally equal.
+	w2 := Hotels(DefaultSpec())
+	if !w.Doc.Root.Equal(w2.Doc.Root) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestHotelAttributes(t *testing.T) {
+	spec := DefaultSpec()
+	// Hotel 0: target name, five-star, intensional rating.
+	if hotelName(spec, 0) != TargetName || hotelRating(spec, 0) != FiveStars {
+		t.Fatal("hotel 0 should qualify")
+	}
+	if !qualifies(spec, 0) || qualifies(spec, 1) {
+		t.Fatal("qualification misassigned")
+	}
+	// Hotel 2 is five-star but not target-named.
+	if hotelName(spec, 2) == TargetName || hotelRating(spec, 2) != FiveStars {
+		t.Fatal("hotel 2 attributes wrong")
+	}
+}
+
+func TestExpectedResults(t *testing.T) {
+	spec := DefaultSpec()
+	// Qualifying hotels: i ≡ 0 (mod 4) and i ≡ 0 (mod 2) → i ≡ 0 (mod 4):
+	// 48 hotels total → indices 0,4,...,44 → 12 hotels × 2 five-star
+	// restaurants each.
+	w := Hotels(spec)
+	if w.ExpectedResults != 24 {
+		t.Fatalf("ExpectedResults = %d, want 24", w.ExpectedResults)
+	}
+}
+
+func TestServicesAreDeterministicAndPure(t *testing.T) {
+	w := Hotels(DefaultSpec())
+	params := []*tree.Node{tree.NewText("addr-3")}
+	r1, err := w.Registry.Invoke("getNearbyRestos", params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := w.Registry.Invoke("getNearbyRestos", []*tree.Node{tree.NewText("addr-3")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Forest) != len(r2.Forest) {
+		t.Fatal("nondeterministic service")
+	}
+	for i := range r1.Forest {
+		if !r1.Forest[i].Equal(r2.Forest[i]) {
+			t.Fatal("nondeterministic service result")
+		}
+	}
+	if len(r1.Forest) != 5 {
+		t.Fatalf("restaurants per call = %d", len(r1.Forest))
+	}
+	five := 0
+	for _, r := range r1.Forest {
+		if r.Child("rating").Value() == FiveStars {
+			five++
+		}
+	}
+	if five != 2 {
+		t.Fatalf("five-star restaurants = %d, want 2", five)
+	}
+}
+
+func TestRatingChain(t *testing.T) {
+	spec := DefaultSpec()
+	spec.RatingChainDepth = 2
+	w := Hotels(spec)
+	// Depth 2: first call returns a call, that returns a call, that
+	// returns the value.
+	resp, err := w.Registry.Invoke("getRating", []*tree.Node{tree.NewText(ratingParam(2, FiveStars))}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := 0
+	cur := resp.Forest
+	for len(cur) == 1 && cur[0].Kind == tree.Call {
+		hops++
+		resp, err = w.Registry.Invoke("getRating", cloneParams(cur[0].Children), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = resp.Forest
+	}
+	if hops != 2 {
+		t.Fatalf("chain hops = %d, want 2", hops)
+	}
+	if len(cur) != 1 || cur[0].Label != FiveStars {
+		t.Fatalf("chain result = %v", cur)
+	}
+}
+
+func cloneParams(ns []*tree.Node) []*tree.Node {
+	out := make([]*tree.Node, len(ns))
+	for i, n := range ns {
+		out[i] = n.Clone()
+	}
+	return out
+}
+
+func TestHiddenHotels(t *testing.T) {
+	w := Hotels(DefaultSpec())
+	resp, err := w.Registry.Invoke("getHotels", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Forest) != 8 {
+		t.Fatalf("hidden hotels = %d", len(resp.Forest))
+	}
+	// Hidden hotels carry their own intensional parts.
+	calls := 0
+	for _, h := range resp.Forest {
+		h.Walk(func(n *tree.Node) bool {
+			if n.Kind == tree.Call {
+				calls++
+			}
+			return true
+		})
+	}
+	if calls == 0 {
+		t.Fatal("hidden hotels should embed calls")
+	}
+}
+
+func TestTeasers(t *testing.T) {
+	spec := DefaultSpec()
+	spec.TeaserKinds = 3
+	w := Hotels(spec)
+	names := w.Registry.Names()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"getTeaser0", "getTeaser1", "getTeaser2"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing teaser service %s in %v", want, names)
+		}
+	}
+	if !w.Schema.IsFunction("getTeaser1") || !w.Schema.IsElement("teaser") {
+		t.Fatal("teaser schema entries missing")
+	}
+	resp, err := w.Registry.Invoke("getTeaser0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tz := resp.Forest[0]
+	if tz.Label != "teaser" || len(tz.Children) != 1 {
+		t.Fatalf("teaser shape: %s", tz)
+	}
+}
+
+func TestTagJoinWorld(t *testing.T) {
+	spec := DefaultSpec()
+	spec.TagJoinEvery = 2
+	w := Hotels(spec)
+	if w.JoinQuery == nil {
+		t.Fatal("JoinQuery missing")
+	}
+	h0 := w.Doc.Root.Children[0]
+	if h0.Child("tag").Value() != h0.Child("name").Value() {
+		t.Fatal("hotel 0 tag should equal its name")
+	}
+	h1 := w.Doc.Root.Children[1]
+	if h1.Child("tag").Value() == h1.Child("name").Value() {
+		t.Fatal("hotel 1 tag should differ from its name")
+	}
+}
+
+func TestTotalCalls(t *testing.T) {
+	spec := HotelSpec{
+		Hotels: 4, HiddenHotels: 2, TargetEvery: 2, FiveStarEvery: 2,
+		IntensionalRatingEvery: 2, RestosPerCall: 1, MuseumsPerCall: 1,
+		Latency: time.Millisecond,
+	}
+	// Per hotel: restos + museums = 2; hotels 0,2,4 add a rating call.
+	// 6 hotels × 2 + 3 ratings + 1 getHotels = 16.
+	if got := TotalCalls(spec); got != 16 {
+		t.Fatalf("TotalCalls = %d, want 16", got)
+	}
+}
+
+func TestMaterializedRestosAreBulk(t *testing.T) {
+	spec := DefaultSpec()
+	spec.MaterializedRestos = 3
+	w := Hotels(spec)
+	h0 := w.Doc.Root.Children[0]
+	nearby := h0.Child("nearby")
+	restos := 0
+	for _, c := range nearby.Children {
+		if c.Kind == tree.Element && c.Label == "restaurant" {
+			restos++
+			if c.Child("rating").Value() == FiveStars {
+				t.Fatal("bulk restaurants must not match the query")
+			}
+		}
+	}
+	if restos != 3 {
+		t.Fatalf("materialized restaurants = %d", restos)
+	}
+}
+
+// TestWorldsConformToTheirSchema validates generated documents against
+// the world's own schema — both the fresh intensional document and the
+// fully materialised one (what the naive strategy produces), so service
+// results are checked too.
+func TestWorldsConformToTheirSchema(t *testing.T) {
+	specs := map[string]HotelSpec{
+		"default": DefaultSpec(),
+		"rich": func() HotelSpec {
+			s := DefaultSpec()
+			s.TagJoinEvery = 2
+			s.TeaserKinds = 3
+			s.RatingChainDepth = 2
+			s.MaterializedRestos = 2
+			return s
+		}(),
+	}
+	for name, spec := range specs {
+		w := Hotels(spec)
+		if err := w.Schema.ValidateDocument(w.Doc); err != nil {
+			t.Errorf("%s: fresh document violates its schema: %v", name, err)
+		}
+		// Materialise everything by invoking every call to a fixpoint.
+		doc := w.Doc.Clone()
+		for rounds := 0; rounds < 100; rounds++ {
+			calls := doc.Calls()
+			if len(calls) == 0 {
+				break
+			}
+			for _, c := range calls {
+				resp, err := w.Registry.Invoke(c.Label, cloneParams(c.Children), nil)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				doc.ReplaceCall(c, resp.Forest)
+			}
+		}
+		if len(doc.Calls()) != 0 {
+			t.Fatalf("%s: fixpoint not reached", name)
+		}
+		if err := w.Schema.ValidateDocument(doc); err != nil {
+			t.Errorf("%s: materialised document violates the schema: %v", name, err)
+		}
+	}
+}
