@@ -1,0 +1,30 @@
+# Developer checks. `make check` is the full gate: static vetting, a
+# clean build, the whole suite under the race detector, and a short fuzz
+# smoke of both fuzz targets (seed corpora under testdata/fuzz always run
+# as plain tests).
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: check build vet test race fuzz bench
+
+check: vet build race fuzz
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/pattern/
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
+
+bench:
+	$(GO) test -bench . -benchmem .

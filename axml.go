@@ -147,7 +147,34 @@ type (
 	Clock = service.Clock
 	// SimClock is the virtual clock used by benchmarks.
 	SimClock = service.SimClock
+	// Fault is a classified invocation error (see doc/FAULTS.md).
+	Fault = service.Fault
+	// ErrorClass partitions invocation errors into permanent, transient
+	// and timeout; only the latter two are retried.
+	ErrorClass = service.ErrorClass
+	// FaultSpec configures the deterministic fault injector.
+	FaultSpec = service.FaultSpec
+	// Faults is a seeded fault injector wrapping a registry.
+	Faults = service.Faults
 )
+
+// Error classes.
+const (
+	// PermanentFault marks errors that retrying cannot fix.
+	PermanentFault = service.Permanent
+	// TransientFault marks passing failures worth retrying.
+	TransientFault = service.Transient
+	// TimeoutFault marks deadline expirations, also retryable.
+	TimeoutFault = service.Timeout
+)
+
+// ClassOf extracts the error class from any error chain; unclassified
+// errors are permanent.
+func ClassOf(err error) ErrorClass { return service.ClassOf(err) }
+
+// NewFaults builds a deterministic fault injector; wrap a registry with
+// its Wrap method.
+func NewFaults(spec FaultSpec) *Faults { return service.NewFaults(spec) }
 
 // NewRegistry returns an empty service registry.
 func NewRegistry() *Registry { return service.NewRegistry() }
@@ -171,6 +198,24 @@ type (
 	TraceEvent = core.TraceEvent
 	// TraceFunc receives engine trace events.
 	TraceFunc = core.TraceFunc
+	// RetryPolicy configures per-call retries, backoff and deadlines
+	// (Options.Retry; see doc/FAULTS.md).
+	RetryPolicy = core.RetryPolicy
+	// FailurePolicy decides what a call that exhausts its attempts does
+	// to the evaluation (Options.Failure).
+	FailurePolicy = core.FailurePolicy
+	// CallFailure records one abandoned call under BestEffort
+	// (Outcome.Failures).
+	CallFailure = core.CallFailure
+)
+
+// Failure policies.
+const (
+	// FailFast aborts the evaluation on the first exhausted call.
+	FailFast = core.FailFast
+	// BestEffort records exhausted calls and keeps evaluating;
+	// completeness is then re-derived from what actually failed.
+	BestEffort = core.BestEffort
 )
 
 // Strategies.

@@ -249,3 +249,64 @@ func TestFacadeConstructAndWatch(t *testing.T) {
 		t.Fatalf("changes = %d, want 1 (second poll is a no-op)", changes)
 	}
 }
+
+// TestFacadeFaultTolerance drives the fault layer exactly as an importer
+// would: a flaky injected registry, engine retries, and best effort with
+// honest completeness (see doc/FAULTS.md).
+func TestFacadeFaultTolerance(t *testing.T) {
+	doc, _ := axml.ParseDocument([]byte(hotelsDoc))
+	q, _ := axml.ParseQuery(
+		`/hotels/hotel[name="Best Western"]/nearby//restaurant[rating="*****"][name=$X] -> $X`)
+	invocations := 0
+	reg := axml.NewRegistry()
+	reg.Register(restosService(&invocations))
+
+	// The first invocation of every service fails with a transient fault.
+	inj := axml.NewFaults(axml.FaultSpec{Seed: 7, FailFirst: 1})
+	flaky := inj.Wrap(reg)
+
+	// Fail-fast without retries surfaces a classified fault.
+	_, err := axml.Evaluate(doc.Clone(), q, flaky, axml.Options{Strategy: axml.LazyNFQ})
+	if err == nil {
+		t.Fatal("fail-fast run succeeded despite injected fault")
+	}
+	if axml.ClassOf(err) != axml.TransientFault {
+		t.Fatalf("class = %v, want transient (err %v)", axml.ClassOf(err), err)
+	}
+
+	// Retries absorb the fault; best effort is not even needed.
+	inj.Reset()
+	out, err := axml.Evaluate(doc.Clone(), q, flaky, axml.Options{
+		Strategy: axml.LazyNFQ,
+		Retry:    axml.RetryPolicy{MaxAttempts: 3},
+		Failure:  axml.BestEffort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete || len(out.Results) != 1 || len(out.Failures) != 0 {
+		t.Fatalf("outcome: complete=%t results=%d failures=%d",
+			out.Complete, len(out.Results), len(out.Failures))
+	}
+	if out.Stats.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+
+	// A permanently failing relevant call under best effort: recorded,
+	// and completeness honestly degraded.
+	inj2 := axml.NewFaults(axml.FaultSpec{Seed: 7, PermanentRate: 1})
+	out, err = axml.Evaluate(doc.Clone(), q, inj2.Wrap(reg), axml.Options{
+		Strategy: axml.LazyNFQ,
+		Retry:    axml.RetryPolicy{MaxAttempts: 3},
+		Failure:  axml.BestEffort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Complete || len(out.Failures) != 1 {
+		t.Fatalf("outcome: complete=%t failures=%+v", out.Complete, out.Failures)
+	}
+	if out.Failures[0].Service != "getNearbyRestos" || out.Failures[0].Attempts != 1 {
+		t.Fatalf("failure record: %+v", out.Failures[0])
+	}
+}

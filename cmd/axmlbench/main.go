@@ -28,7 +28,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("axmlbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "", "run a single experiment (E1..E8)")
+		exp   = fs.String("exp", "", "run a single experiment (E1..E9)")
 		quick = fs.Bool("quick", false, "use the small test-scale sweeps")
 		list  = fs.Bool("list", false, "list experiments and exit")
 	)

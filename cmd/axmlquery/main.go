@@ -5,7 +5,14 @@
 //
 //	axmlquery -doc doc.xml -query '/hotels/hotel[name="Best Western"]//restaurant[name=$X] -> $X' \
 //	          [-strategy lazy-nfq-typed] [-schema schema.txt] [-provider http://host:port] \
-//	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml]
+//	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml] \
+//	          [-retries 3] [-timeout 2s] [-best-effort]
+//
+// Fault tolerance (see doc/FAULTS.md): -retries enables engine-side
+// retries of transient and timeout faults with exponential backoff,
+// -timeout bounds each call attempt, and -best-effort records failed
+// calls and keeps evaluating instead of aborting (completeness is then
+// reported honestly in the exit status and warnings).
 //
 // Services are resolved against a remote provider (-provider, see
 // axmlserver) or, without one, against the built-in demo registry of the
@@ -20,6 +27,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/activexml/axml/internal/construct"
 	"github.com/activexml/axml/internal/core"
@@ -58,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		guide      = fs.Bool("guide", false, "use an F-guide for relevance detection")
 		relax      = fs.Bool("relax-joins", false, "relax value joins in relevance queries")
 		maxCalls   = fs.Int("max-calls", 0, "invocation budget (0 = default)")
+		retries    = fs.Int("retries", 0, "retry transient/timeout faults up to this many extra attempts per call")
+		timeout    = fs.Duration("timeout", 0, "per-call deadline; slower calls count as timeouts (0 = none)")
+		bestEffort = fs.Bool("best-effort", false, "record failed calls and keep evaluating instead of aborting")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "trace layers, relevance detection and invocations to stderr")
 		tmplText   = fs.String("template", "", "render results through an XML template with {$X} placeholders")
@@ -98,6 +109,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Strategy: st, Push: *push, Layering: *layer, Parallel: *parallel,
 		UseGuide: *guide, RelaxJoins: *relax, MaxCalls: *maxCalls,
 	}
+	if *retries > 0 || *timeout > 0 {
+		opt.Retry = core.RetryPolicy{
+			MaxAttempts: *retries + 1,
+			Backoff:     50 * time.Millisecond,
+			MaxBackoff:  2 * time.Second,
+			Jitter:      0.5,
+			Deadline:    *timeout,
+		}
+	}
+	if *bestEffort {
+		opt.Failure = core.BestEffort
+	}
 	if *explain {
 		opt.Trace = func(e core.TraceEvent) { fmt.Fprintln(stderr, e) }
 	}
@@ -118,7 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var reg *service.Registry
 	if *provider != "" {
-		client := &soap.Client{BaseURL: *provider}
+		client := &soap.Client{BaseURL: *provider, Timeout: *timeout}
 		reg, err = client.RegistryFor()
 		if err != nil {
 			return fail("describe provider", err)
@@ -150,8 +173,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		printResults(stdout, out)
 	}
+	for _, f := range out.Failures {
+		fmt.Fprintf(stderr, "warning: gave up on %s at %s after %d attempt(s): %v\n",
+			f.Service, f.Path, f.Attempts, f.Err)
+	}
 	if !out.Complete {
-		fmt.Fprintln(stderr, "warning: call budget exhausted before completeness")
+		fmt.Fprintln(stderr, "warning: the answer may be incomplete (budget exhausted or calls abandoned)")
 	}
 	if *stats {
 		printStats(stderr, out.Stats)
@@ -195,6 +222,7 @@ func printResults(w io.Writer, out *core.Outcome) {
 func printStats(w io.Writer, st core.Stats) {
 	fmt.Fprintf(w, `stats:
   calls invoked:      %d (pushed: %d)
+  retries:            %d (deadline cuts: %d, abandoned calls: %d)
   rounds:             %d
   relevance queries:  %d
   guide candidates:   %d
@@ -203,7 +231,9 @@ func printStats(w io.Writer, st core.Stats) {
   detection time:     %v
   analysis time:      %v
   final doc size:     %d nodes
-`, st.CallsInvoked, st.PushedCalls, st.Rounds, st.RelevanceQueries,
+`, st.CallsInvoked, st.PushedCalls,
+		st.Retries, st.DeadlineCuts, st.FailedCalls,
+		st.Rounds, st.RelevanceQueries,
 		st.GuideCandidates, st.BytesFetched, st.VirtualTime, st.DetectTime,
 		st.AnalysisTime, st.FinalSize)
 }

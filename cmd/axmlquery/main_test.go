@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
@@ -113,6 +114,42 @@ func TestBudgetWarning(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "budget exhausted") {
 		t.Fatalf("missing warning: %s", errOut.String())
+	}
+}
+
+// TestRetryFlagsAgainstFlakyProvider runs the CLI against an HTTP
+// provider whose every service fails its first invocation: without
+// -retries the evaluation aborts, with -retries and -best-effort it
+// converges to the full result set and reports the retries in -stats.
+func TestRetryFlagsAgainstFlakyProvider(t *testing.T) {
+	w := workload.Hotels(workload.DefaultSpec())
+	flaky := service.NewFaults(service.FaultSpec{Seed: 1, FailFirst: 1}).Wrap(w.Registry)
+	srv := httptest.NewServer(soap.NewServer(flaky, false))
+	defer srv.Close()
+	doc := writeWorldDoc(t)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-doc", doc, "-query", testQuery, "-provider", srv.URL}, &out, &errOut); code == 0 {
+		t.Fatal("fail-fast run against a flaky provider succeeded")
+	}
+
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{
+		"-doc", doc, "-query", testQuery, "-provider", srv.URL,
+		"-retries", "3", "-best-effort", "-stats",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "24 result(s)") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "retries:") {
+		t.Fatalf("stats miss retry counters:\n%s", errOut.String())
+	}
+	if strings.Contains(errOut.String(), "warning:") {
+		t.Fatalf("retried run should be complete:\n%s", errOut.String())
 	}
 }
 

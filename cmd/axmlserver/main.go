@@ -5,7 +5,7 @@
 // Usage:
 //
 //	axmlserver [-addr :8080] [-hotels 40] [-latency 10ms] [-push] [-sleep]
-//	           [-recursive] [-dump-doc doc.axml]
+//	           [-deadline 0] [-recursive] [-dump-doc doc.axml]
 //
 // Endpoints:
 //
@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		latency   = fs.Duration("latency", 10*time.Millisecond, "advertised per-call latency")
 		push      = fs.Bool("push", true, "advertise query pushing on extensional services")
 		sleep     = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
+		deadline  = fs.Duration("deadline", 0, "per-invocation server deadline (0 = unbounded); expired calls answer 504 with a timeout-classed fault")
 		recursive = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
 		dump      = fs.String("dump-doc", "", "write the demo client document to this file and exit")
 	)
@@ -89,7 +90,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	if err := http.Serve(ln, soap.NewServer(reg, *sleep)); err != nil {
+	srv := soap.NewServer(reg, *sleep)
+	srv.Deadline = *deadline
+	if err := http.Serve(ln, srv); err != nil {
 		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
 		return 1
 	}

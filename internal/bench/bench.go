@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness that regenerates the
 // evaluation of "Lazy Query Evaluation for Active XML" (SIGMOD 2004).
-// Each experiment E1…E8 (see DESIGN.md for the index and EXPERIMENTS.md
+// Each experiment E1…E9 (see DESIGN.md for the index and EXPERIMENTS.md
 // for recorded outcomes) sweeps one dimension and prints the series the
 // paper's figures report: who wins, by what factor, and where behaviour
 // crosses over.
@@ -92,6 +92,8 @@ type Scale struct {
 	E7Hotels []int
 	// E8Sizes are the document sizes of the HTTP end-to-end sweep.
 	E8Sizes []int
+	// E9Rates are the injected fault rates of the fault-tolerance sweep.
+	E9Rates []float64
 }
 
 // Quick is the scale used by tests and testing.B benchmarks.
@@ -105,6 +107,7 @@ func Quick() Scale {
 		E6Kinds:         []int{2, 8},
 		E7Hotels:        []int{20},
 		E8Sizes:         []int{8},
+		E9Rates:         []float64{0, 0.2},
 	}
 }
 
@@ -120,6 +123,7 @@ func Full() Scale {
 		E6Kinds:         []int{2, 4, 8, 16, 32},
 		E7Hotels:        []int{20, 100, 400},
 		E8Sizes:         []int{5, 15, 50},
+		E9Rates:         []float64{0, 0.1, 0.2, 0.4},
 	}
 }
 
@@ -141,6 +145,7 @@ func All() []Experiment {
 		{"E6", "exact vs lenient type analysis", E6},
 		{"E7", "relaxed NFQs trade calls for detection time", E7},
 		{"E8", "end-to-end over real HTTP services", E8},
+		{"E9", "lazy vs naive under injected faults with retries", E9},
 	}
 }
 

@@ -355,3 +355,63 @@ func E8(s Scale) (Table, error) {
 	}
 	return t, nil
 }
+
+// E9 sweeps the injected fault rate and compares naive against lazy
+// evaluation under a best-effort retry policy: laziness pays twice under
+// faults, because every pruned call is also a call that can neither fail
+// nor burn retry backoff. Each run must still converge to the fault-free
+// result set.
+func E9(s Scale) (Table, error) {
+	t := Table{
+		ID:      "E9",
+		Title:   "fault-rate sweep: naive vs lazy, best-effort with retries",
+		Columns: []string{"fault-rate", "strategy", "calls", "retries", "failed", "virt-time", "results"},
+	}
+	retry := core.RetryPolicy{
+		MaxAttempts: 25, Backoff: time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond, Jitter: 0.5, Seed: 9,
+	}
+	strategies := []core.Options{
+		{Strategy: core.NaiveFixpoint},
+		{Strategy: core.LazyNFQ, Layering: true, Parallel: true},
+	}
+	for _, rate := range s.E9Rates {
+		spec := workload.DefaultSpec()
+		w := workload.Hotels(spec)
+		for _, opt := range strategies {
+			reg := w.Registry
+			if rate > 0 {
+				reg = service.NewFaults(service.FaultSpec{
+					Seed: 9, ErrorRate: rate, TimeoutRate: rate / 4,
+				}).Wrap(w.Registry)
+			}
+			opt.Retry = retry
+			opt.Failure = core.BestEffort
+			out, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, opt)
+			if err != nil {
+				return t, err
+			}
+			if len(out.Failures) != 0 || !out.Complete {
+				return t, fmt.Errorf("E9: %v at rate %.2f gave up on %d calls (complete=%t)",
+					opt.Strategy, rate, len(out.Failures), out.Complete)
+			}
+			if len(out.Results) != w.ExpectedResults {
+				return t, fmt.Errorf("E9: %v at rate %.2f got %d results, want %d",
+					opt.Strategy, rate, len(out.Results), w.ExpectedResults)
+			}
+			label := opt.Strategy.String()
+			if opt.Parallel {
+				label += "+par"
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%.0f%%", rate*100), label,
+				itoa(out.Stats.CallsInvoked), itoa(out.Stats.Retries),
+				itoa(out.Stats.FailedCalls),
+				ms(out.Stats.VirtualTime), itoa(len(out.Results)),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"every run converged to the fault-free result set with zero abandoned calls")
+	return t, nil
+}

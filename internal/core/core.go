@@ -105,6 +105,15 @@ type Options struct {
 	// MaxCalls bounds the number of invocations (the paper's termination
 	// safeguard, Section 2); 0 means DefaultMaxCalls.
 	MaxCalls int
+	// Retry configures per-call fault handling: attempts, exponential
+	// backoff (charged to the virtual clock) and the per-attempt
+	// deadline. The zero value is one attempt, no deadline.
+	Retry RetryPolicy
+	// Failure selects what an unrecoverable invocation failure does to
+	// the evaluation: abort (FailFast, the default) or record the
+	// failure and keep going (BestEffort), downgrading completeness if
+	// the failed calls stay relevant.
+	Failure FailurePolicy
 	// Clock receives the simulated latency charges; nil means a fresh
 	// SimClock, whose total is reported in Stats.VirtualTime.
 	Clock service.Clock
@@ -117,11 +126,127 @@ type Options struct {
 // DefaultMaxCalls bounds invocation counts when Options.MaxCalls is 0.
 const DefaultMaxCalls = 100000
 
+// RetryPolicy configures how the engine reacts to failed invocations.
+// Only transient and timeout faults (service.Retryable) are retried;
+// permanent errors fail immediately. All waiting is charged to the
+// engine's virtual clock — simulated worlds never sleep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call; values below 2
+	// mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the pause before the second attempt; it doubles for
+	// each further attempt (exponential backoff).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth; 0 means uncapped.
+	MaxBackoff time.Duration
+	// Jitter randomises each backoff downward by up to this fraction
+	// (0..1), decorrelating retry storms. The draw is deterministic in
+	// Seed, the call and the attempt.
+	Jitter float64
+	// Deadline bounds one attempt's virtual latency. An attempt whose
+	// reported latency exceeds it is cut off at the deadline, charged
+	// exactly Deadline, and counts as a timeout fault (retryable).
+	// 0 means no deadline.
+	Deadline time.Duration
+	// Seed makes the backoff jitter reproducible.
+	Seed int64
+}
+
+// attempts normalises MaxAttempts.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 2 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffBefore computes the pause charged before the given attempt
+// (attempt ≥ 2), deterministic in the policy seed and the call identity.
+func (p RetryPolicy) backoffBefore(attempt, callID int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	d := p.Backoff << uint(attempt-2)
+	if d < 0 || (p.MaxBackoff > 0 && d > p.MaxBackoff) {
+		d = p.MaxBackoff
+		if d == 0 {
+			d = p.Backoff
+		}
+	}
+	if p.Jitter > 0 {
+		j := p.Jitter
+		if j > 1 {
+			j = 1
+		}
+		u := jitterDraw(p.Seed, callID, attempt)
+		d = time.Duration(float64(d) * (1 - j*u))
+	}
+	return d
+}
+
+// jitterDraw is a stateless splitmix64 draw in [0,1) so concurrent batch
+// members need no shared RNG.
+func jitterDraw(seed int64, callID, attempt int) float64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(callID)*0xbf58476d1ce4e5b9 + uint64(attempt)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// FailurePolicy selects how invocation failures that survive the retry
+// policy affect the evaluation.
+type FailurePolicy uint8
+
+const (
+	// FailFast aborts the evaluation on the first unrecoverable
+	// invocation failure.
+	FailFast FailurePolicy = iota
+	// BestEffort records the failure in Outcome.Failures, leaves the
+	// call unresolved in the document, and keeps evaluating everything
+	// else. Outcome.Complete is then recomputed from the final document
+	// (Definition 3): it stays true only if every failed call turned
+	// out irrelevant for the query.
+	BestEffort
+)
+
+// String names the policy.
+func (p FailurePolicy) String() string {
+	switch p {
+	case FailFast:
+		return "fail-fast"
+	case BestEffort:
+		return "best-effort"
+	default:
+		return fmt.Sprintf("failure(%d)", uint8(p))
+	}
+}
+
+// CallFailure records one call the engine gave up on under BestEffort.
+type CallFailure struct {
+	// Service is the call's service name.
+	Service string
+	// Path is the call's document path at failure time.
+	Path string
+	// Attempts is how many invocation attempts were made.
+	Attempts int
+	// Err is the final attempt's error.
+	Err error
+}
+
 // Stats reports what one evaluation did — the quantities the paper's
 // experiments compare.
 type Stats struct {
-	// CallsInvoked counts service invocations.
+	// CallsInvoked counts successful service invocations.
 	CallsInvoked int
+	// Retries counts repeated attempts after retryable faults (a call
+	// that succeeds on its third attempt contributes 2).
+	Retries int
+	// FailedCalls counts calls given up on after exhausting the retry
+	// policy (recorded in Outcome.Failures under BestEffort).
+	FailedCalls int
+	// DeadlineCuts counts attempts cut off by the per-call deadline.
+	DeadlineCuts int
 	// PushedCalls counts invocations that shipped a subquery.
 	PushedCalls int
 	// RelevanceQueries counts NFQ/LPQ evaluations (including residual
@@ -156,8 +281,12 @@ type Outcome struct {
 	// state — by completeness (Definition 3), the full result.
 	Results []pattern.Result
 	// Complete reports whether the document was made complete for the
-	// query; false means the call budget ran out first.
+	// query; false means the call budget ran out first, or a failed
+	// call (BestEffort) is still relevant.
 	Complete bool
+	// Failures lists the calls the engine gave up on (BestEffort only;
+	// FailFast evaluations return an error instead).
+	Failures []CallFailure
 	// Stats is the evaluation accounting.
 	Stats Stats
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/workload"
 )
 
@@ -57,6 +59,82 @@ func TestDifferentialAcrossRandomWorlds(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDifferentialUnderInjectedFaults is the fault-tolerance half of the
+// differential net, and the acceptance check of the fault-injection
+// work: over ≥50 injector seeds at a 20% error rate (plus stalls),
+// best-effort evaluation with retries converges — for Lazy-NFQ,
+// Lazy-LPQ and the naive fixpoint alike — to exactly the result set of
+// the fault-free run, with no recorded failures and full completeness;
+// and on every one of those seeds, fail-fast without retries surfaces
+// the injected fault instead. The injector is deterministic per
+// (seed, service, invocation index), so this test is stable.
+func TestDifferentialUnderInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential testing is not short")
+	}
+	w := workload.Hotels(workload.DefaultSpec())
+	baseline, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, Options{Strategy: NaiveFixpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultKeys(baseline)
+
+	const seeds = 50
+	failFastErrors := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		spec := service.FaultSpec{
+			Seed:        seed,
+			ErrorRate:   0.2,
+			TimeoutRate: 0.05,
+			FailFirst:   1,
+		}
+		// Fail-fast without retries: the very first invocation of every
+		// service fails (FailFirst), so the evaluation must error.
+		flaky := service.NewFaults(spec).Wrap(w.Registry)
+		if _, err := Evaluate(w.Doc.Clone(), w.Query, flaky, Options{Strategy: NaiveFixpoint}); err != nil {
+			failFastErrors++
+		} else {
+			t.Errorf("seed %d: fail-fast without retries did not surface the injected fault", seed)
+		}
+
+		// Best effort with retries: every strategy converges to the
+		// fault-free result. 25 attempts outlast a 20%-rate streak with
+		// probability 1 - 0.25^24 for every practical purpose.
+		retry := RetryPolicy{
+			MaxAttempts: 25, Backoff: time.Millisecond,
+			MaxBackoff: 50 * time.Millisecond, Jitter: 0.5, Seed: seed,
+		}
+		for _, opt := range []Options{
+			{Strategy: NaiveFixpoint},
+			{Strategy: LazyLPQ},
+			{Strategy: LazyNFQ},
+			{Strategy: LazyNFQ, Layering: true, Parallel: true},
+		} {
+			opt.Retry = retry
+			opt.Failure = BestEffort
+			flaky := service.NewFaults(spec).Wrap(w.Registry)
+			out, err := Evaluate(w.Doc.Clone(), w.Query, flaky, opt)
+			if err != nil {
+				t.Fatalf("seed %d: %v best-effort errored: %v", seed, opt.Strategy, err)
+			}
+			if len(out.Failures) != 0 {
+				t.Fatalf("seed %d: %v gave up on %d calls: %+v",
+					seed, opt.Strategy, len(out.Failures), out.Failures)
+			}
+			if !out.Complete {
+				t.Fatalf("seed %d: %v incomplete under faults", seed, opt.Strategy)
+			}
+			if got := resultKeys(out); got != want {
+				t.Fatalf("seed %d: %v under faults disagrees with the fault-free run\n got %q\nwant %q",
+					seed, opt.Strategy, got, want)
+			}
+		}
+	}
+	if failFastErrors != seeds {
+		t.Fatalf("fail-fast errored on %d/%d seeds", failFastErrors, seeds)
 	}
 }
 

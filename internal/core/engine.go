@@ -25,7 +25,8 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 	if err := rewrite.Validate(q); err != nil {
 		return nil, err
 	}
-	e := &engine{doc: doc, q: q, reg: reg, opt: opt, names: map[string]bool{}}
+	e := &engine{doc: doc, q: q, reg: reg, opt: opt,
+		names: map[string]bool{}, failed: map[*tree.Node]bool{}}
 	for _, c := range doc.Calls() {
 		e.names[c.Label] = true
 	}
@@ -56,11 +57,22 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 	if err != nil {
 		return nil, err
 	}
+	if len(e.failures) > 0 {
+		// Best-effort left failed calls unresolved in the document. The
+		// run's completeness claim no longer holds a priori; recompute
+		// it from the final state (Definition 3): the result is still
+		// the full result iff none of the leftover calls is relevant.
+		// Type-refined relevance (sound for any strategy, Section 5)
+		// applies whenever a schema is available, so a failed call whose
+		// signature cannot contribute does not cost completeness.
+		ok, cerr := Complete(doc, q, e.opt.Schema, e.opt.SchemaMode)
+		e.complete = cerr == nil && ok
+	}
 	results, st := pattern.Eval(doc, q)
 	e.stats.NodesVisited += st.NodesVisited
 	e.stats.VirtualTime = e.opt.Clock.Elapsed()
 	e.stats.FinalSize = doc.Size()
-	return &Outcome{Results: results, Complete: e.complete, Stats: e.stats}, nil
+	return &Outcome{Results: results, Complete: e.complete, Failures: e.failures, Stats: e.stats}, nil
 }
 
 type engine struct {
@@ -75,6 +87,11 @@ type engine struct {
 	guide *fguide.Guide
 	an    *schema.Analyzer
 	names map[string]bool // service names seen in the document
+	// failed marks calls given up on under BestEffort; they are excluded
+	// from relevance detection and naive fixpoint rounds so the
+	// evaluation can terminate around them.
+	failed   map[*tree.Node]bool
+	failures []CallFailure
 	// nameVersion increments whenever a previously unseen service name
 	// enters the document; refined NFQs must then be regenerated with
 	// the enriched name list (Section 5, "the refined NFQs are enriched
@@ -91,7 +108,7 @@ func (e *engine) budgetLeft() int { return e.opt.MaxCalls - e.stats.CallsInvoked
 // fixpoint, then evaluate (Section 1).
 func (e *engine) runNaive() error {
 	for {
-		calls := e.doc.Calls()
+		calls := e.pendingCalls()
 		if len(calls) == 0 {
 			e.complete = true
 			return nil
@@ -166,6 +183,21 @@ func (e *engine) runLazy() error {
 	}
 	e.complete = true
 	return nil
+}
+
+// pendingCalls lists the document's calls minus those given up on.
+func (e *engine) pendingCalls() []*tree.Node {
+	calls := e.doc.Calls()
+	if len(e.failed) == 0 {
+		return calls
+	}
+	out := calls[:0]
+	for _, c := range calls {
+		if !e.failed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 func allIndices(n int) []int {
@@ -368,7 +400,7 @@ func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
 		e.stats.RelevanceQueries++
 		matcher := pattern.NewResidualMatcher(nfq.Query, nfq.Out)
 		for _, c := range cands {
-			if !nfq.SatisfiesOut(e.an, c.Label) {
+			if e.failed[c] || !nfq.SatisfiesOut(e.an, c.Label) {
 				continue
 			}
 			if matcher.Match(e.doc, c) {
@@ -382,7 +414,7 @@ func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
 	e.stats.RelevanceQueries++
 	e.stats.NodesVisited += st.NodesVisited
 	for _, c := range got {
-		if nfq.SatisfiesOut(e.an, c.Label) {
+		if !e.failed[c] && nfq.SatisfiesOut(e.an, c.Label) {
 			calls = append(calls, c)
 		}
 	}
@@ -417,19 +449,105 @@ func (e *engine) pushedQuery(nfq *rewrite.NFQ) *pattern.Pattern {
 	return sub
 }
 
-// invokeOne invokes a single call and charges its latency sequentially.
+// callMeta accounts for one call's full attempt sequence: the virtual
+// time it consumed (attempt latencies plus backoffs), how many attempts
+// were made, how many were cut by the deadline, and the final error when
+// every attempt failed.
+type callMeta struct {
+	cost     time.Duration
+	attempts int
+	cuts     int
+	err      error
+}
+
+// invokeAttempts runs the retry loop for one call. It mutates no engine
+// state (safe to run concurrently for a batch); the caller applies the
+// response, charges the clock and updates stats afterwards.
+func (e *engine) invokeAttempts(call *tree.Node, pushed *pattern.Pattern) (service.Response, callMeta) {
+	var meta callMeta
+	policy := e.opt.Retry
+	for {
+		meta.attempts++
+		if meta.attempts > 1 {
+			meta.cost += policy.backoffBefore(meta.attempts, int(call.ID))
+		}
+		resp, err := e.reg.Invoke(call.Label, cloneForest(call.Children), pushed)
+		if err == nil {
+			if policy.Deadline > 0 && resp.Latency > policy.Deadline {
+				// The provider answered, but past the deadline: the
+				// engine stopped waiting at the cutoff, so the attempt
+				// costs exactly the deadline and the answer is lost.
+				meta.cost += policy.Deadline
+				meta.cuts++
+				err = &service.Fault{
+					Service: call.Label, Class: service.Timeout, Latency: policy.Deadline,
+					Msg: fmt.Sprintf("latency %v exceeded deadline %v", resp.Latency, policy.Deadline),
+				}
+			} else {
+				meta.cost += resp.Latency
+				return resp, meta
+			}
+		} else {
+			lat := service.FaultLatency(err)
+			if policy.Deadline > 0 && lat > policy.Deadline {
+				lat = policy.Deadline
+				meta.cuts++
+			}
+			meta.cost += lat
+		}
+		if meta.attempts >= policy.attempts() || !service.Retryable(err) {
+			meta.err = err
+			return service.Response{}, meta
+		}
+	}
+}
+
+// chargeMeta records a finished attempt sequence's retry accounting.
+func (e *engine) chargeMeta(meta callMeta) {
+	e.stats.Retries += meta.attempts - 1
+	e.stats.DeadlineCuts += meta.cuts
+}
+
+// giveUp handles a call whose attempts are exhausted: fail the
+// evaluation (FailFast) or record the failure and park the call
+// (BestEffort).
+func (e *engine) giveUp(call *tree.Node, path string, meta callMeta) error {
+	e.emit(TraceEvent{
+		Kind: TraceGiveUp, Service: call.Label, Path: path,
+		Attempts: meta.attempts, Err: meta.err.Error(),
+	})
+	if e.opt.Failure == FailFast {
+		return meta.err
+	}
+	e.stats.FailedCalls++
+	e.failed[call] = true
+	e.failures = append(e.failures, CallFailure{
+		Service: call.Label, Path: path, Attempts: meta.attempts, Err: meta.err,
+	})
+	return nil
+}
+
+// invokeOne invokes a single call (retries included) and charges its full
+// cost sequentially.
 func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
 	path := tracePath(call)
-	resp, err := e.invoke(call, nfq)
-	if err != nil {
-		return err
+	pushed := e.pushedQuery(nfq)
+	resp, meta := e.invokeAttempts(call, pushed)
+	e.chargeMeta(meta)
+	e.opt.Clock.Advance(meta.cost)
+	e.stats.Rounds++
+	if meta.err != nil {
+		return e.giveUp(call, path, meta)
 	}
+	if meta.attempts > 1 {
+		e.emit(TraceEvent{Kind: TraceRetry, Service: call.Label, Path: path, Attempts: meta.attempts})
+	}
+	wasPushed := pushed != nil && resp.Pushed
+	e.apply(call, resp, wasPushed)
 	e.emit(TraceEvent{
 		Kind: TraceInvoke, Target: traceTarget(nfq), Service: call.Label,
-		Path: path, Calls: 1, Pushed: resp.Pushed,
+		Path: path, Calls: 1, Pushed: wasPushed,
 	})
-	e.opt.Clock.Advance(resp.Latency)
-	e.stats.Rounds++
 	return nil
 }
 
@@ -446,57 +564,60 @@ func (e *engine) invokeBatch(calls []*tree.Node, nfq *rewrite.NFQ) error {
 
 // invokeMixedBatch is invokeBatch with a per-call originating NFQ, so a
 // speculative batch can push each call the subquery it was retrieved for.
+// Every member runs its own retry loop concurrently and the batch is
+// charged its slowest member's full cost, retries and backoffs included
+// (Section 4.4). All completed members are applied before any failure is
+// reported, so a mid-batch error never drops (or forgets to charge)
+// responses that already arrived.
 func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error {
 	type result struct {
 		resp   service.Response
-		err    error
+		meta   callMeta
 		pushed bool
 	}
 	results := make([]result, len(calls))
+	pushes := make([]*pattern.Pattern, len(calls))
+	paths := make([]string, len(calls))
+	for i, c := range calls {
+		pushes[i] = e.pushedQuery(nfqs[i])
+		paths[i] = tracePath(c)
+	}
 	var wg sync.WaitGroup
 	for i, c := range calls {
 		wg.Add(1)
 		go func(i int, c *tree.Node) {
 			defer wg.Done()
-			pushed := e.pushedQuery(nfqs[i])
-			resp, err := e.reg.Invoke(c.Label, cloneForest(c.Children), pushed)
-			results[i] = result{resp, err, pushed != nil && resp.Pushed}
+			resp, meta := e.invokeAttempts(c, pushes[i])
+			results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed}
 		}(i, c)
 	}
-	paths := make([]string, len(calls))
-	for i, c := range calls {
-		paths[i] = tracePath(c)
-	}
 	wg.Wait()
-	var maxLat time.Duration
+	var maxCost time.Duration
+	var firstErr error
 	for i, c := range calls {
-		if results[i].err != nil {
-			return results[i].err
+		r := results[i]
+		e.chargeMeta(r.meta)
+		if r.meta.cost > maxCost {
+			maxCost = r.meta.cost
 		}
-		e.apply(c, results[i].resp, results[i].pushed)
+		if r.meta.err != nil {
+			if err := e.giveUp(c, paths[i], r.meta); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if r.meta.attempts > 1 {
+			e.emit(TraceEvent{Kind: TraceRetry, Service: c.Label, Path: paths[i], Attempts: r.meta.attempts})
+		}
+		e.apply(c, r.resp, r.pushed)
 		e.emit(TraceEvent{
 			Kind: TraceInvoke, Target: traceTarget(nfqs[i]), Service: c.Label,
-			Path: paths[i], Calls: len(calls), Pushed: results[i].pushed, Parallel: true,
+			Path: paths[i], Calls: len(calls), Pushed: r.pushed, Parallel: true,
 		})
-		if results[i].resp.Latency > maxLat {
-			maxLat = results[i].resp.Latency
-		}
 	}
-	e.opt.Clock.Advance(maxLat)
+	e.opt.Clock.Advance(maxCost)
 	e.stats.Rounds++
-	return nil
-}
-
-// invoke performs one invocation (without clock charging) and applies the
-// result to the document.
-func (e *engine) invoke(call *tree.Node, nfq *rewrite.NFQ) (service.Response, error) {
-	pushed := e.pushedQuery(nfq)
-	resp, err := e.reg.Invoke(call.Label, cloneForest(call.Children), pushed)
-	if err != nil {
-		return service.Response{}, err
-	}
-	e.apply(call, resp, pushed != nil && resp.Pushed)
-	return resp, nil
+	return firstErr
 }
 
 // apply splices a response into the document, maintains the guide and the

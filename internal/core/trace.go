@@ -18,6 +18,12 @@ const (
 	TraceDetect
 	// TraceInvoke reports one invocation (or parallel batch member).
 	TraceInvoke
+	// TraceRetry reports a call that needed repeated attempts before
+	// succeeding.
+	TraceRetry
+	// TraceGiveUp reports a call abandoned after exhausting the retry
+	// policy.
+	TraceGiveUp
 )
 
 // String names the kind.
@@ -29,6 +35,10 @@ func (k TraceKind) String() string {
 		return "detect"
 	case TraceInvoke:
 		return "invoke"
+	case TraceRetry:
+		return "retry"
+	case TraceGiveUp:
+		return "giveup"
 	default:
 		return fmt.Sprintf("trace(%d)", uint8(k))
 	}
@@ -57,6 +67,11 @@ type TraceEvent struct {
 	Pushed bool
 	// Parallel reports whether the invocation was part of a batch.
 	Parallel bool
+	// Attempts is the number of invocation attempts made
+	// (TraceRetry, TraceGiveUp).
+	Attempts int
+	// Err is the final attempt's error message (TraceGiveUp).
+	Err string
 }
 
 // String renders the event for explain output.
@@ -79,6 +94,10 @@ func (e TraceEvent) String() string {
 		if e.Parallel {
 			fmt.Fprintf(&sb, " [batch of %d]", e.Calls)
 		}
+	case TraceRetry:
+		fmt.Fprintf(&sb, " %s at %s succeeded on attempt %d", e.Service, e.Path, e.Attempts)
+	case TraceGiveUp:
+		fmt.Fprintf(&sb, " %s at %s failed after %d attempt(s): %s", e.Service, e.Path, e.Attempts, e.Err)
 	}
 	return sb.String()
 }

@@ -257,7 +257,7 @@ func writeStep(sb *strings.Builder, n *Node, allowSpine bool) {
 		if isName(n.Label) {
 			sb.WriteString(n.Label)
 		} else {
-			fmt.Fprintf(sb, "%q", n.Label)
+			quoteValue(sb, n.Label)
 		}
 	case Star:
 		sb.WriteString("*")
@@ -304,15 +304,37 @@ func writeStep(sb *strings.Builder, n *Node, allowSpine bool) {
 	}
 }
 
-// isName reports whether s is safe to render unquoted.
+// quoteValue renders a data value in the parser's own quoting syntax:
+// only '"' and '\' are escaped (with a backslash), every other byte is
+// literal. Go-style %q escaping would not survive the round trip — the
+// parser reads \x as a literal x — and the canonical form is a byte-exact
+// fingerprint, so the two sides must share one escaping convention.
+func quoteValue(sb *strings.Builder, s string) {
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' || c == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteByte(c)
+	}
+	sb.WriteByte('"')
+}
+
+// isName reports whether s is safe to render unquoted: it must lex as a
+// name, i.e. match the parser's isNameStart/isNameChar exactly (a leading
+// '-' or digit would not re-parse as a name).
 func isName(s string) bool {
 	if s == "" {
 		return false
 	}
 	for i := 0; i < len(s); i++ {
 		c := s[i]
-		ok := c == '_' || c == '-' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
-		if !ok {
+		start := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if i == 0 && !start {
+			return false
+		}
+		if !start && c != '-' && !(c >= '0' && c <= '9') {
 			return false
 		}
 	}

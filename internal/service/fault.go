@@ -1,0 +1,113 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrorClass partitions invocation errors by how a caller should react:
+// the paper treats services as remote Web providers (Section 8), and
+// remote providers fail in ways that differ in kind — a dropped
+// connection is worth retrying, a type error in the request is not.
+type ErrorClass uint8
+
+const (
+	// Permanent errors will recur on retry: unknown services, malformed
+	// parameters, handler logic errors. The default class for errors
+	// that carry no Fault.
+	Permanent ErrorClass = iota
+	// Transient errors are expected to clear on retry: dropped
+	// connections, overloaded providers, injected flakiness.
+	Transient
+	// Timeout errors mean the provider stalled past a deadline. They
+	// are retryable, but the caller has already paid the waiting time.
+	Timeout
+)
+
+// String names the class.
+func (c ErrorClass) String() string {
+	switch c {
+	case Permanent:
+		return "permanent"
+	case Transient:
+		return "transient"
+	case Timeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ParseErrorClass reads a class name back; unknown names are Permanent,
+// the conservative default (never retry what we cannot classify).
+func ParseErrorClass(s string) ErrorClass {
+	switch s {
+	case "transient":
+		return Transient
+	case "timeout":
+		return Timeout
+	default:
+		return Permanent
+	}
+}
+
+// Fault is a classified invocation error. Producers (the fault injector,
+// the soap transport, providers) attach one so callers can decide whether
+// to retry and how much simulated time the failed attempt consumed.
+type Fault struct {
+	// Service is the invoked service name.
+	Service string
+	// Class drives the retry decision.
+	Class ErrorClass
+	// Latency is the virtual time the failed attempt consumed before
+	// the error surfaced (a timeout fault's stall, a transient fault's
+	// round trip). The engine charges it to its clock.
+	Latency time.Duration
+	// Msg describes the failure.
+	Msg string
+	// Err is an optional underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	msg := f.Msg
+	if msg == "" && f.Err != nil {
+		msg = f.Err.Error()
+	}
+	if f.Service == "" {
+		return fmt.Sprintf("%s fault: %s", f.Class, msg)
+	}
+	return fmt.Sprintf("%s fault invoking %s: %s", f.Class, f.Service, msg)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
+
+// ClassOf extracts the error's class: the Fault's class when one is in
+// the chain, Permanent otherwise. A nil error has no class; callers must
+// not ask.
+func ClassOf(err error) ErrorClass {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Class
+	}
+	return Permanent
+}
+
+// Retryable reports whether a retry may succeed.
+func Retryable(err error) bool {
+	c := ClassOf(err)
+	return c == Transient || c == Timeout
+}
+
+// FaultLatency reports the virtual time a failed invocation consumed, or
+// zero when the error carries no Fault.
+func FaultLatency(err error) time.Duration {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f.Latency
+	}
+	return 0
+}

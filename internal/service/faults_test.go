@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// faultSequence replays n invocations of one service and records which
+// fail and how.
+func faultSequence(t *testing.T, f *Faults, reg *Registry, n int) []string {
+	t.Helper()
+	flaky := f.Wrap(reg)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		_, err := flaky.Invoke("getNearbyRestos", nil, nil)
+		switch {
+		case err == nil:
+			out = append(out, "ok")
+		default:
+			out = append(out, ClassOf(err).String())
+		}
+	}
+	return out
+}
+
+func TestFaultsDeterministic(t *testing.T) {
+	spec := FaultSpec{Seed: 7, ErrorRate: 0.3, TimeoutRate: 0.1, PermanentRate: 0.05}
+	a := faultSequence(t, NewFaults(spec), registryWithRestos(false), 200)
+	b := faultSequence(t, NewFaults(spec), registryWithRestos(false), 200)
+	fails := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("invocation %d: %s vs %s — injector not deterministic", i, a[i], b[i])
+		}
+		if a[i] != "ok" {
+			fails++
+		}
+	}
+	if fails == 0 || fails == len(a) {
+		t.Fatalf("degenerate fault sequence: %d/%d failures", fails, len(a))
+	}
+	other := faultSequence(t, NewFaults(FaultSpec{Seed: 8, ErrorRate: 0.3, TimeoutRate: 0.1, PermanentRate: 0.05}),
+		registryWithRestos(false), 200)
+	same := 0
+	for i := range a {
+		if a[i] == other[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestFaultsFailFirstThenSucceed(t *testing.T) {
+	f := NewFaults(FaultSpec{Seed: 1, FailFirst: 3})
+	got := faultSequence(t, f, registryWithRestos(false), 6)
+	want := []string{"transient", "transient", "transient", "ok", "ok", "ok"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("invocation %d = %s, want %s (sequence %v)", i, got[i], want[i], got)
+		}
+	}
+	st := f.Stats()
+	if st.Transient != 3 || st.Injected() != 3 || st.Invocations != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	f.Reset()
+	if got := faultSequence(t, f, registryWithRestos(false), 1); got[0] != "transient" {
+		t.Fatalf("after Reset the warm-up failures should replay, got %v", got)
+	}
+}
+
+func TestFaultsClassesAndLatencies(t *testing.T) {
+	reg := registryWithRestos(false)
+	flaky := NewFaults(FaultSpec{Seed: 3, TimeoutRate: 1}).Wrap(reg)
+	_, err := flaky.Invoke("getNearbyRestos", nil, nil)
+	if ClassOf(err) != Timeout || !Retryable(err) {
+		t.Fatalf("timeout fault misclassified: %v", err)
+	}
+	// Default stall is 10× the service's 50ms latency.
+	if got := FaultLatency(err); got != 500*time.Millisecond {
+		t.Fatalf("stall latency = %v", got)
+	}
+
+	flaky = NewFaults(FaultSpec{Seed: 3, PermanentRate: 1}).Wrap(reg)
+	_, err = flaky.Invoke("getNearbyRestos", nil, nil)
+	if ClassOf(err) != Permanent || Retryable(err) {
+		t.Fatalf("permanent fault misclassified: %v", err)
+	}
+	var fault *Fault
+	if !errors.As(err, &fault) || fault.Service != "getNearbyRestos" {
+		t.Fatalf("fault not in error chain: %v", err)
+	}
+}
+
+func TestFaultsTargetsOnlyNamedServices(t *testing.T) {
+	reg := registryWithRestos(false)
+	reg.Register(&Service{Name: "stable", Latency: time.Millisecond,
+		Handler: func([]*tree.Node) ([]*tree.Node, error) { return nil, nil }})
+	flaky := NewFaults(FaultSpec{Seed: 5, ErrorRate: 1, Services: []string{"getNearbyRestos"}}).Wrap(reg)
+	if _, err := flaky.Invoke("getNearbyRestos", nil, nil); !Retryable(err) {
+		t.Fatalf("targeted service did not fault: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := flaky.Invoke("stable", nil, nil); err != nil {
+			t.Fatalf("untargeted service faulted: %v", err)
+		}
+	}
+}
+
+func TestFaultsWrapPreservesCapabilities(t *testing.T) {
+	reg := registryWithRestos(true)
+	flaky := NewFaults(FaultSpec{Seed: 9}).Wrap(reg)
+	svc := flaky.Lookup("getNearbyRestos")
+	if svc == nil || !svc.CanPush || svc.Latency != 50*time.Millisecond {
+		t.Fatalf("wrapped service lost capabilities: %+v", svc)
+	}
+	q := pattern.MustParse(`/restaurant[rating="*****"][name=$X] -> $X`)
+	resp, err := flaky.Invoke("getNearbyRestos", nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Pushed {
+		t.Fatal("push capability not forwarded through the injector")
+	}
+}

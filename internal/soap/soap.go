@@ -20,12 +20,20 @@
 //	             <params> ...parameter forest... </params>
 //	          </invoke>
 //	response: <response pushed="true|false"> ...result forest... </response>
-//	fault:    <fault>message</fault>  (with a non-2xx status code)
+//	fault:    <fault class="transient|timeout|permanent">message</fault>
+//	          (with a non-2xx status code)
+//
+// Faults carry an error class so clients can map wire failures onto the
+// service package's retry classification: the Client turns network
+// errors, HTTP timeouts and classed faults into service.Fault values the
+// evaluation engine's retry policy understands.
 package soap
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,6 +51,11 @@ type Server struct {
 	// sleep makes the server physically wait each service's configured
 	// latency before answering, so remote experiments feel real costs.
 	sleep bool
+	// Deadline bounds one invocation's handling (the handler plus the
+	// simulated latency sleep); 0 means unbounded. An expired
+	// invocation answers 504 with a timeout-classed fault, so remote
+	// callers can classify and retry it.
+	Deadline time.Duration
 }
 
 // NewServer wraps a registry. When sleepLatency is set, each invocation
@@ -62,7 +75,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/services/"):
 		s.invoke(w, r, strings.TrimPrefix(r.URL.Path, "/services/"))
 	default:
-		writeFault(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path))
+		writeFault(w, http.StatusNotFound, service.Permanent, fmt.Sprintf("no such endpoint %s %s", r.Method, r.URL.Path))
 	}
 }
 
@@ -83,33 +96,61 @@ func (s *Server) describe(w http.ResponseWriter) {
 func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
-		writeFault(w, http.StatusBadRequest, "unreadable body: "+err.Error())
+		writeFault(w, http.StatusBadRequest, service.Transient, "unreadable body: "+err.Error())
 		return
 	}
 	params, pushed, err := decodeInvoke(body, name)
 	if err != nil {
-		writeFault(w, http.StatusBadRequest, err.Error())
+		writeFault(w, http.StatusBadRequest, service.Permanent, err.Error())
 		return
 	}
 	svc := s.reg.Lookup(name)
 	if svc == nil {
-		writeFault(w, http.StatusNotFound, fmt.Sprintf("unknown service %q", name))
+		writeFault(w, http.StatusNotFound, service.Permanent, fmt.Sprintf("unknown service %q", name))
 		return
 	}
-	resp, err := s.reg.Invoke(name, params, pushed)
-	if err != nil {
-		writeFault(w, http.StatusInternalServerError, err.Error())
+	// The handler (and its simulated latency) runs under the server's
+	// per-invoke deadline and the client's disconnect. On expiry the
+	// goroutine is abandoned — handlers are pure, so its late result is
+	// simply dropped.
+	type invokeResult struct {
+		resp service.Response
+		err  error
+	}
+	done := make(chan invokeResult, 1)
+	go func() {
+		resp, err := s.reg.Invoke(name, params, pushed)
+		if err == nil && s.sleep {
+			time.Sleep(svc.Latency)
+		}
+		done <- invokeResult{resp, err}
+	}()
+	var expired <-chan time.Time
+	if s.Deadline > 0 {
+		t := time.NewTimer(s.Deadline)
+		defer t.Stop()
+		expired = t.C
+	}
+	var res invokeResult
+	select {
+	case res = <-done:
+	case <-expired:
+		writeFault(w, http.StatusGatewayTimeout, service.Timeout,
+			fmt.Sprintf("invocation of %s exceeded the server deadline %v", name, s.Deadline))
+		return
+	case <-r.Context().Done():
 		return
 	}
-	if s.sleep {
-		time.Sleep(svc.Latency)
+	if res.err != nil {
+		writeFault(w, http.StatusInternalServerError, service.ClassOf(res.err), res.err.Error())
+		return
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, `<response pushed="%t">`, resp.Pushed)
-	for _, n := range resp.Forest {
+	fmt.Fprintf(&sb, `<response pushed="%t">`, res.resp.Pushed)
+	for _, n := range res.resp.Forest {
 		b, err := tree.Marshal(n)
 		if err != nil {
-			writeFault(w, http.StatusInternalServerError, "marshal: "+err.Error())
+			writeFault(w, http.StatusInternalServerError, service.Permanent, "marshal: "+err.Error())
 			return
 		}
 		sb.Write(b)
@@ -119,7 +160,7 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 	io.WriteString(w, sb.String())
 }
 
-func writeFault(w http.ResponseWriter, code int, msg string) {
+func writeFault(w http.ResponseWriter, code int, class service.ErrorClass, msg string) {
 	w.Header().Set("Content-Type", "application/xml")
 	w.WriteHeader(code)
 	var sb strings.Builder
@@ -127,7 +168,7 @@ func writeFault(w http.ResponseWriter, code int, msg string) {
 		sb.Reset()
 		sb.WriteString("internal error")
 	}
-	io.WriteString(w, "<fault>"+sb.String()+"</fault>")
+	fmt.Fprintf(w, `<fault class="%s">%s</fault>`, class, sb.String())
 }
 
 // EncodeInvoke builds the request envelope for an invocation.
@@ -221,7 +262,21 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Timeout bounds each HTTP request; an expired request surfaces as
+	// a timeout-classed fault. 0 means no client-side timeout.
+	Timeout time.Duration
+	// MaxAttempts retries transient and timeout faults (network errors,
+	// 5xx answers, expired requests) with exponential backoff before
+	// giving up; values below 2 mean a single attempt. Permanent faults
+	// (4xx, bad envelopes) never retry.
+	MaxAttempts int
+	// Backoff is the real-time pause before the second attempt,
+	// doubling per further attempt; 0 means DefaultBackoff.
+	Backoff time.Duration
 }
+
+// DefaultBackoff is the client's initial retry pause when Backoff is 0.
+const DefaultBackoff = 50 * time.Millisecond
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -234,22 +289,85 @@ func (c *Client) httpClient() *http.Client {
 // the on-the-wire size of the result payload and whether the provider
 // applied the pushed query.
 func (c *Client) Invoke(name string, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+	return c.InvokeContext(context.Background(), name, params, pushed)
+}
+
+// InvokeContext is Invoke under a caller context: cancellation aborts the
+// in-flight request and any remaining retries. Transient and timeout
+// faults are retried per the client's retry configuration; the error
+// returned after the last attempt carries a service.Fault so engine-side
+// retry policies (and callers) can classify it.
+func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
 	body, err := EncodeInvoke(name, params, pushed)
 	if err != nil {
 		return service.Response{}, err
 	}
 	url := strings.TrimSuffix(c.BaseURL, "/") + "/services/" + name
-	httpResp, err := c.httpClient().Post(url, "application/xml", bytes.NewReader(body))
+	attempts := c.MaxAttempts
+	if attempts < 2 {
+		attempts = 1
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	for attempt := 1; ; attempt++ {
+		resp, err := c.post(ctx, url, name, body)
+		if err == nil {
+			return resp, nil
+		}
+		if attempt >= attempts || !service.Retryable(err) {
+			return service.Response{}, err
+		}
+		select {
+		case <-ctx.Done():
+			return service.Response{}, err
+		case <-time.After(backoff << uint(attempt-1)):
+		}
+	}
+}
+
+// post performs one HTTP attempt and maps every failure onto a classed
+// service.Fault: network errors are transient, expired requests are
+// timeouts, non-2xx answers carry the server's class (or one derived
+// from the status code).
+func (c *Client) post(ctx context.Context, url, name string, body []byte) (service.Response, error) {
+	start := time.Now()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return service.Response{}, fmt.Errorf("soap: POST %s: %w", url, err)
+		return service.Response{}, fmt.Errorf("soap: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		class := service.Transient
+		if errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			class = service.Timeout
+		}
+		return service.Response{}, &service.Fault{
+			Service: name, Class: class, Latency: time.Since(start),
+			Msg: fmt.Sprintf("POST %s", url), Err: err,
+		}
 	}
 	defer httpResp.Body.Close()
 	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
 	if err != nil {
-		return service.Response{}, fmt.Errorf("soap: read response: %w", err)
+		return service.Response{}, &service.Fault{
+			Service: name, Class: service.Transient, Latency: time.Since(start),
+			Msg: "read response", Err: err,
+		}
 	}
 	if httpResp.StatusCode != http.StatusOK {
-		return service.Response{}, fmt.Errorf("soap: %s: %s: %s", url, httpResp.Status, faultMessage(payload))
+		return service.Response{}, &service.Fault{
+			Service: name, Class: faultClass(payload, httpResp.StatusCode),
+			Latency: time.Since(start),
+			Msg:     fmt.Sprintf("%s: %s: %s", url, httpResp.Status, faultMessage(payload)),
+		}
 	}
 	roots, err := tree.UnmarshalForest(payload)
 	if err != nil {
@@ -271,6 +389,38 @@ func (c *Client) Invoke(name string, params []*tree.Node, pushed *pattern.Patter
 		Bytes:  len(payload),
 		Pushed: wasPushed,
 	}, nil
+}
+
+// faultClass reads the fault envelope's class attribute; when absent it
+// derives one from the HTTP status: 504 is a timeout, other 5xx are
+// transient, everything else permanent.
+func faultClass(payload []byte, status int) service.ErrorClass {
+	dec := xml.NewDecoder(bytes.NewReader(payload))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			if se.Name.Local != "fault" {
+				break
+			}
+			for _, a := range se.Attr {
+				if a.Name.Local == "class" {
+					return service.ParseErrorClass(a.Value)
+				}
+			}
+			break
+		}
+	}
+	switch {
+	case status == http.StatusGatewayTimeout:
+		return service.Timeout
+	case status >= 500:
+		return service.Transient
+	default:
+		return service.Permanent
+	}
 }
 
 // responsePushedAttr reads the pushed attribute of the top-level response

@@ -1,0 +1,89 @@
+package subscribe
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/service"
+)
+
+// TestConcurrentPollsAndBackgroundLoop exists to run under the race
+// detector: explicit Poll calls, the Start-driven background loop,
+// controller refreshes and Stop all interleave. The watcher serialises
+// polls internally, so changes must still arrive one at a time and the
+// final Stop must not race the ticker goroutine.
+func TestConcurrentPollsAndBackgroundLoop(t *testing.T) {
+	ctl, reg, q, _, _ := flights(t)
+	var mu sync.Mutex
+	var changes int
+	w := Watch(ctl, q, reg, core.Options{
+		Strategy: core.LazyNFQ,
+		Retry:    core.RetryPolicy{MaxAttempts: 3, Backoff: time.Microsecond},
+		Failure:  core.BestEffort,
+	}, func(Change) {
+		mu.Lock()
+		changes++
+		mu.Unlock()
+	})
+	w.Start(time.Millisecond)
+	defer w.Stop()
+
+	var pollers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		pollers.Add(1)
+		go func() {
+			defer pollers.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := ctl.RefreshDue(time.Now()); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := w.Poll(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	pollers.Wait()
+	w.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if changes == 0 {
+		t.Fatal("no change notifications despite rotating status")
+	}
+}
+
+// TestWatcherOverFlakyRegistry polls through a fault injector with
+// retries: the subscription keeps delivering consistent snapshots while
+// the provider misbehaves.
+func TestWatcherOverFlakyRegistry(t *testing.T) {
+	ctl, reg, q, _, _ := flights(t)
+	flaky := service.NewFaults(service.FaultSpec{Seed: 4, ErrorRate: 0.3}).Wrap(reg)
+	var mu sync.Mutex
+	sizes := map[int]bool{}
+	w := Watch(ctl, q, flaky, core.Options{
+		Strategy: core.LazyNFQ,
+		Retry:    core.RetryPolicy{MaxAttempts: 20, Seed: 4},
+		Failure:  core.BestEffort,
+	}, func(c Change) {
+		mu.Lock()
+		sizes[c.Size] = true
+		mu.Unlock()
+	})
+	for i := 0; i < 30; i++ {
+		if _, err := ctl.RefreshDue(time.Now().Add(time.Duration(i) * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !sizes[0] || !sizes[1] {
+		t.Fatalf("expected the result to flip between present and absent, saw sizes %v", sizes)
+	}
+}
