@@ -26,5 +26,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
 
+# bench records the perf trajectory: the root benchmark suite plus the
+# E10 incremental-evaluation sweep written to BENCH_E10.json.
 bench:
 	$(GO) test -bench . -benchmem .
+	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
+
+microbench:
+	$(GO) test -bench . -benchmem ./internal/pattern/

@@ -6,12 +6,16 @@
 //	axmlbench -exp E3        # run one experiment
 //	axmlbench -quick         # small sweeps (the test/benchmark scale)
 //	axmlbench -list          # list experiments
+//	axmlbench -json out.json # additionally write the tables as JSON
 //
 // Each experiment prints an aligned table; see DESIGN.md §4 for what each
-// one reproduces and EXPERIMENTS.md for recorded runs.
+// one reproduces and EXPERIMENTS.md for recorded runs. With -json the
+// tables are also written, machine-readably, to the given file — `make
+// bench` uses it to record the BENCH_*.json perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +32,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("axmlbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp   = fs.String("exp", "", "run a single experiment (E1..E9)")
-		quick = fs.Bool("quick", false, "use the small test-scale sweeps")
-		list  = fs.Bool("list", false, "list experiments and exit")
+		exp      = fs.String("exp", "", "run a single experiment (E1..E10)")
+		quick    = fs.Bool("quick", false, "use the small test-scale sweeps")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		jsonPath = fs.String("json", "", "also write the result tables as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -55,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		experiments = []bench.Experiment{e}
 	}
+	var tables []bench.Table
 	for i, e := range experiments {
 		if i > 0 {
 			fmt.Fprintln(stdout)
@@ -65,6 +71,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprint(stdout, table)
+		tables = append(tables, table)
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlbench: marshal json: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "axmlbench: write json: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/activexml/axml/internal/bench"
 )
 
 func TestList(t *testing.T) {
@@ -41,5 +46,27 @@ func TestBadFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
 		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-quick", "-exp", "E10", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []bench.Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		t.Fatalf("invalid JSON written: %v", err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E10" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	if len(tables[0].Rows) == 0 || len(tables[0].Notes) == 0 {
+		t.Fatal("E10 table missing rows or notes")
 	}
 }

@@ -6,7 +6,15 @@
 //	axmlquery -doc doc.xml -query '/hotels/hotel[name="Best Western"]//restaurant[name=$X] -> $X' \
 //	          [-strategy lazy-nfq-typed] [-schema schema.txt] [-provider http://host:port] \
 //	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml] \
-//	          [-retries 3] [-timeout 2s] [-best-effort]
+//	          [-retries 3] [-timeout 2s] [-best-effort] \
+//	          [-no-cache] [-cache-ttl 5m] [-workers 4] [-no-incremental]
+//
+// Performance (see doc/PERF.md): service responses are memoised by
+// (service, parameters, pushed query) with in-flight deduplication —
+// -no-cache disables this, -cache-ttl bounds how long a response stays
+// servable. Relevance re-evaluation reuses a persistent match memo across
+// rounds (-no-incremental falls back to from-scratch evaluation), and
+// -workers N evaluates a round's relevance queries on N goroutines.
 //
 // Fault tolerance (see doc/FAULTS.md): -retries enables engine-side
 // retries of transient and timeout faults with exponential backoff,
@@ -69,6 +77,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retries    = fs.Int("retries", 0, "retry transient/timeout faults up to this many extra attempts per call")
 		timeout    = fs.Duration("timeout", 0, "per-call deadline; slower calls count as timeouts (0 = none)")
 		bestEffort = fs.Bool("best-effort", false, "record failed calls and keep evaluating instead of aborting")
+		noCache    = fs.Bool("no-cache", false, "disable service-response memoisation")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
+		workers    = fs.Int("workers", 0, "evaluate each round's relevance queries on this many goroutines (0/1 = sequential)")
+		noIncr     = fs.Bool("no-incremental", false, "re-evaluate relevance queries from scratch each round")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "trace layers, relevance detection and invocations to stderr")
 		tmplText   = fs.String("template", "", "render results through an XML template with {$X} placeholders")
@@ -108,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt := core.Options{
 		Strategy: st, Push: *push, Layering: *layer, Parallel: *parallel,
 		UseGuide: *guide, RelaxJoins: *relax, MaxCalls: *maxCalls,
+		Incremental: !*noIncr, Workers: *workers,
 	}
 	if *retries > 0 || *timeout > 0 {
 		opt.Retry = core.RetryPolicy{
@@ -150,6 +163,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		reg = workload.Hotels(workload.DefaultSpec()).Registry
 	}
+	var cache *service.Cache
+	if !*noCache {
+		cache = service.NewCache(service.CacheSpec{TTL: *cacheTTL})
+		reg = cache.Wrap(reg)
+	}
 
 	out, err := core.Evaluate(doc, q, reg, opt)
 	if err != nil {
@@ -182,6 +200,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		printStats(stderr, out.Stats)
+		if cache != nil {
+			cs := cache.Stats()
+			fmt.Fprintf(stderr, "  svc cache:          %d hit(s), %d miss(es), %d coalesced (%.0f%% served locally)\n",
+				cs.Hits, cs.Misses, cs.Coalesced, 100*cs.HitRate())
+		}
 	}
 	if *outPath != "" {
 		b, err := tree.MarshalIndent(doc.Root)

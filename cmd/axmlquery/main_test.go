@@ -189,3 +189,38 @@ func TestTemplateOutput(t *testing.T) {
 		t.Fatal("unbound template variable accepted")
 	}
 }
+
+// TestPerfFlags drives the response cache, the incremental evaluator and
+// the detection worker pool through the CLI surface and checks the cached
+// and uncached runs agree on the results.
+func TestPerfFlags(t *testing.T) {
+	doc := writeWorldDoc(t)
+	results := func(extra ...string) string {
+		t.Helper()
+		var out, errOut strings.Builder
+		args := append([]string{"-doc", doc, "-query", testQuery, "-stats"}, extra...)
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("exit %d with %v: %s", code, extra, errOut.String())
+		}
+		if strings.Contains(strings.Join(extra, " "), "-no-cache") {
+			if strings.Contains(errOut.String(), "svc cache:") {
+				t.Fatalf("-no-cache still printed cache stats:\n%s", errOut.String())
+			}
+		} else if !strings.Contains(errOut.String(), "svc cache:") {
+			t.Fatalf("cache stats missing from -stats output:\n%s", errOut.String())
+		}
+		return out.String()
+	}
+	want := results("-no-cache", "-no-incremental")
+	for _, extra := range [][]string{
+		{},
+		{"-workers", "4"},
+		{"-no-incremental"},
+		{"-layer", "-workers", "8"},
+		{"-cache-ttl", "1m"},
+	} {
+		if got := results(extra...); got != want {
+			t.Fatalf("flags %v changed the results\n got %q\nwant %q", extra, got, want)
+		}
+	}
+}

@@ -94,6 +94,10 @@ type Scale struct {
 	E8Sizes []int
 	// E9Rates are the injected fault rates of the fault-tolerance sweep.
 	E9Rates []float64
+	// E10Sizes are the document sizes (#hotels) of the incremental
+	// evaluation sweep; they mirror E1Sizes so the incremental win is
+	// reported on the same documents as the headline strategy sweep.
+	E10Sizes []int
 }
 
 // Quick is the scale used by tests and testing.B benchmarks.
@@ -108,6 +112,7 @@ func Quick() Scale {
 		E7Hotels:        []int{20},
 		E8Sizes:         []int{8},
 		E9Rates:         []float64{0, 0.2},
+		E10Sizes:        []int{10, 40},
 	}
 }
 
@@ -124,6 +129,7 @@ func Full() Scale {
 		E7Hotels:        []int{20, 100, 400},
 		E8Sizes:         []int{5, 15, 50},
 		E9Rates:         []float64{0, 0.1, 0.2, 0.4},
+		E10Sizes:        []int{10, 50, 100, 200, 500, 1000},
 	}
 }
 
@@ -146,6 +152,7 @@ func All() []Experiment {
 		{"E7", "relaxed NFQs trade calls for detection time", E7},
 		{"E8", "end-to-end over real HTTP services", E8},
 		{"E9", "lazy vs naive under injected faults with retries", E9},
+		{"E10", "incremental evaluation and response caching cut re-evaluation work", E10},
 	}
 }
 

@@ -100,6 +100,25 @@ type Options struct {
 	// UseGuide accelerates relevance detection with an F-guide
 	// (Section 6.2).
 	UseGuide bool
+	// Incremental keeps one persistent pattern evaluator per relevance
+	// query alive across the NFQA rounds: each round's re-evaluation
+	// reuses every memoised (query node, document node) match that the
+	// round's single mutation cannot have changed, so detection visits
+	// O(changed region) nodes instead of O(document). The invoked call
+	// sequence and the results are identical to from-scratch evaluation;
+	// only the work (Stats.NodesVisited vs Stats.MemoHits) changes. It
+	// has no effect on guide-accelerated detection, which does not
+	// evaluate patterns over the full document in the first place.
+	Incremental bool
+	// Workers bounds the worker pool that evaluates a round's relevance
+	// queries concurrently; 0 or 1 means sequential detection. Each
+	// query keeps its own evaluator shard, so workers share nothing but
+	// the read-only document. With Workers > 1 every member query of the
+	// current layer is evaluated each round (the sequential path stops
+	// at the first query that retrieves a call), so RelevanceQueries and
+	// NodesVisited counters grow even though wall-clock detection time
+	// shrinks; the invoked call sequence is unchanged.
+	Workers int
 	// RelaxJoins uses the join-free relaxed NFQs of Section 6.1.
 	RelaxJoins bool
 	// MaxCalls bounds the number of invocations (the paper's termination
@@ -258,8 +277,13 @@ type Stats struct {
 	// Rounds counts sequential invocation steps: a single call or one
 	// parallel batch.
 	Rounds int
-	// NodesVisited accumulates the pattern evaluator's match attempts.
+	// NodesVisited accumulates the pattern evaluator's match attempts
+	// actually computed (memo misses).
 	NodesVisited int
+	// MemoHits accumulates match attempts answered from a persistent
+	// evaluator's memo table (Options.Incremental) — the re-evaluation
+	// work the incremental engine avoided.
+	MemoHits int
 	// BytesFetched is the serialised size of everything services
 	// returned.
 	BytesFetched int

@@ -40,7 +40,11 @@ func TestDifferentialAcrossRandomWorlds(t *testing.T) {
 			{Strategy: LazyNFQ},
 			{Strategy: LazyNFQ, Layering: true, Parallel: true},
 			{Strategy: LazyNFQ, UseGuide: true, RelaxJoins: true},
+			{Strategy: LazyNFQ, Incremental: true},
+			{Strategy: LazyNFQ, Incremental: true, Workers: 4},
+			{Strategy: LazyNFQ, Layering: true, Parallel: true, Incremental: true, Workers: 4},
 			{Strategy: LazyNFQTyped, Schema: w.Schema},
+			{Strategy: LazyNFQTyped, Schema: w.Schema, Incremental: true},
 			{Strategy: LazyNFQTyped, Schema: w.Schema, SchemaMode: schema.Lenient,
 				Layering: true, Speculative: true, UseGuide: true, Push: true},
 		} {
@@ -52,6 +56,25 @@ func TestDifferentialAcrossRandomWorlds(t *testing.T) {
 			if got := resultKeys(out); got != want {
 				t.Logf("seed %d: %v (opts %+v) disagrees with naive\n got %q\nwant %q\nspec %+v",
 					seed, opt.Strategy, opt, got, want, spec)
+				return false
+			}
+		}
+		// The same worlds through a shared response cache: the second
+		// evaluation runs warm (its repeats are served from memory), and
+		// both must still match the uncached naive baseline exactly.
+		cached := service.NewCache(service.CacheSpec{}).Wrap(w.Registry)
+		for _, opt := range []Options{
+			{Strategy: NaiveFixpoint},
+			{Strategy: LazyNFQ, Incremental: true, Workers: 4},
+		} {
+			out, err := Evaluate(w.Doc.Clone(), w.Query, cached, opt)
+			if err != nil {
+				t.Logf("seed %d: cached %v failed: %v", seed, opt.Strategy, err)
+				return false
+			}
+			if got := resultKeys(out); got != want {
+				t.Logf("seed %d: cached %v disagrees with uncached naive\n got %q\nwant %q\nspec %+v",
+					seed, opt.Strategy, got, want, spec)
 				return false
 			}
 		}
@@ -112,6 +135,8 @@ func TestDifferentialUnderInjectedFaults(t *testing.T) {
 			{Strategy: LazyLPQ},
 			{Strategy: LazyNFQ},
 			{Strategy: LazyNFQ, Layering: true, Parallel: true},
+			{Strategy: LazyNFQ, Incremental: true},
+			{Strategy: LazyNFQ, Incremental: true, Workers: 4},
 		} {
 			opt.Retry = retry
 			opt.Failure = BestEffort
@@ -129,6 +154,31 @@ func TestDifferentialUnderInjectedFaults(t *testing.T) {
 			}
 			if got := resultKeys(out); got != want {
 				t.Fatalf("seed %d: %v under faults disagrees with the fault-free run\n got %q\nwant %q",
+					seed, opt.Strategy, got, want)
+			}
+		}
+
+		// The cache layered over the injector (cache.Wrap(faults.Wrap(base)))
+		// must not change any of this: faults are never stored, so retries
+		// still see every injected failure, and the converged result is
+		// still the fault-free one.
+		for _, opt := range []Options{
+			{Strategy: LazyNFQ, Incremental: true},
+			{Strategy: LazyNFQ, Incremental: true, Workers: 4},
+		} {
+			opt.Retry = retry
+			opt.Failure = BestEffort
+			cached := service.NewCache(service.CacheSpec{}).Wrap(service.NewFaults(spec).Wrap(w.Registry))
+			out, err := Evaluate(w.Doc.Clone(), w.Query, cached, opt)
+			if err != nil {
+				t.Fatalf("seed %d: cached %v best-effort errored: %v", seed, opt.Strategy, err)
+			}
+			if len(out.Failures) != 0 || !out.Complete {
+				t.Fatalf("seed %d: cached %v failed to converge (failures=%d complete=%v)",
+					seed, opt.Strategy, len(out.Failures), out.Complete)
+			}
+			if got := resultKeys(out); got != want {
+				t.Fatalf("seed %d: cached %v under faults disagrees with the fault-free run\n got %q\nwant %q",
 					seed, opt.Strategy, got, want)
 			}
 		}

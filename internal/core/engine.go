@@ -26,15 +26,18 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 		return nil, err
 	}
 	e := &engine{doc: doc, q: q, reg: reg, opt: opt,
-		names: map[string]bool{}, failed: map[*tree.Node]bool{}}
+		names: map[string]bool{}, failed: map[*tree.Node]bool{},
+		incr: map[*rewrite.NFQ]*pattern.IncrementalEvaluator{}}
 	for _, c := range doc.Calls() {
 		e.names[c.Label] = true
 	}
 	if e.opt.Strategy == TopDownEager {
 		// The eager baseline models a blocking top-down processor: one
-		// call at a time, no sequencing analysis, no pushing.
+		// call at a time, no sequencing analysis, no pushing, no
+		// detection pool.
 		e.opt.Layering, e.opt.Parallel, e.opt.Push = false, false, false
 		e.opt.Speculative = false
+		e.opt.Workers = 0
 	}
 	if e.opt.Speculative {
 		e.opt.Parallel = true
@@ -97,6 +100,11 @@ type engine struct {
 	// the enriched name list (Section 5, "the refined NFQs are enriched
 	// accordingly").
 	nameVersion int
+	// incr holds the persistent evaluator shard of each live relevance
+	// query (Options.Incremental). The map is reset whenever the query
+	// objects are regenerated; apply funnels every document mutation to
+	// the survivors so their memo tables stay sound.
+	incr map[*rewrite.NFQ]*pattern.IncrementalEvaluator
 	// traceLayer is the current layer index, stamped onto trace events.
 	traceLayer int
 }
@@ -228,6 +236,10 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 				return err
 			}
 			builtAt = e.nameVersion
+			// Regenerated query objects invalidate the evaluator shards
+			// wholesale: the shards memoise per query node ID, and the
+			// new queries' IDs mean different subtrees.
+			e.incr = map[*rewrite.NFQ]*pattern.IncrementalEvaluator{}
 			e.stats.AnalysisTime += time.Since(t0)
 		}
 		progressed := false
@@ -237,12 +249,13 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 			// one batch. Calls can be retrieved by several NFQs; the
 			// batch is deduplicated, and each call is pushed the
 			// subquery of the first NFQ that retrieved it.
+			sets := e.detectMany(members, queries)
 			seen := map[*tree.Node]bool{}
 			var batchCalls []*tree.Node
 			var batchNFQs []*rewrite.NFQ
-			for _, m := range members {
+			for i, m := range members {
 				nfq := queries[m]
-				for _, c := range e.relevantCalls(nfq) {
+				for _, c := range sets[i] {
 					if !seen[c] {
 						seen[c] = true
 						batchCalls = append(batchCalls, c)
@@ -262,9 +275,24 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 			}
 			continue
 		}
-		for _, m := range members {
+		// With a detection pool, every member's relevant set is computed
+		// up front in one parallel pass; the member loop then consumes
+		// the precomputed sets. The acted-on set is always the first
+		// non-empty one, and the loop re-detects after every invocation
+		// round, so the invoked sequence matches sequential detection
+		// exactly — only the work accounting differs (no early exit).
+		var sets [][]*tree.Node
+		if e.opt.Workers > 1 && len(members) > 1 {
+			sets = e.detectMany(members, queries)
+		}
+		for mi, m := range members {
 			nfq := queries[m]
-			calls := e.relevantCalls(nfq)
+			var calls []*tree.Node
+			if sets != nil {
+				calls = sets[mi]
+			} else {
+				calls = e.relevantCalls(nfq)
+			}
 			if len(calls) == 0 {
 				continue
 			}
@@ -377,27 +405,64 @@ func (e *engine) sortedNames() []string {
 	return out
 }
 
-// relevantCalls retrieves the calls currently relevant for one NFQ: by
-// direct evaluation on the document, or via the F-guide followed by
-// type-based and residual filtering (Section 6.2). Type pruning on the
-// output side (Section 5) applies in both paths.
-func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
-	if nfq == nil {
+// detectDelta is one relevance detection's contribution to the shared
+// counters. Detections return it by value so a parallel pool's workers
+// never touch engine state; the coordinator merges.
+type detectDelta struct {
+	queried         bool // a relevance query actually ran (trace + counter)
+	nodesVisited    int
+	memoHits        int
+	guideCandidates int
+}
+
+// mergeDetect folds one detection's accounting into the engine stats.
+func (e *engine) mergeDetect(d detectDelta) {
+	if d.queried {
+		e.stats.RelevanceQueries++
+	}
+	e.stats.NodesVisited += d.nodesVisited
+	e.stats.MemoHits += d.memoHits
+	e.stats.GuideCandidates += d.guideCandidates
+}
+
+// incremental returns (creating on demand) the persistent evaluator shard
+// for one relevance query, or nil when incremental evaluation is off.
+// Only the coordinating goroutine may call it — it writes e.incr; pool
+// workers rely on detectMany pre-creating every shard they will read.
+func (e *engine) incremental(nfq *rewrite.NFQ) *pattern.IncrementalEvaluator {
+	if !e.opt.Incremental {
 		return nil
 	}
-	t0 := time.Now()
-	defer func() { e.stats.DetectTime += time.Since(t0) }()
+	iev := e.incr[nfq]
+	if iev == nil {
+		iev = pattern.NewIncremental(nfq.Query)
+		e.incr[nfq] = iev
+	}
+	return iev
+}
+
+// detect retrieves the calls currently relevant for one NFQ: by direct
+// evaluation on the document (incremental when the NFQ has a persistent
+// evaluator shard), or via the F-guide followed by type-based and
+// residual filtering (Section 6.2). Type pruning on the output side
+// (Section 5) applies in both paths. It reads shared engine state but
+// mutates none of it, so distinct NFQs may be detected concurrently.
+func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator) ([]*tree.Node, detectDelta) {
+	var d detectDelta
+	if nfq == nil {
+		return nil, d
+	}
 	var calls []*tree.Node
 	if e.guide != nil {
 		cands := e.guide.Candidates(nfq.Lin, nfq.DescTail)
-		e.stats.GuideCandidates += len(cands)
+		d.guideCandidates = len(cands)
 		if len(cands) == 0 {
-			return nil
+			return nil, d
 		}
 		// Candidates share one residual matcher, so condition checks are
 		// memoised across them and each check only explores the
 		// candidate's own ancestors' subtrees (Section 6.2).
-		e.stats.RelevanceQueries++
+		d.queried = true
 		matcher := pattern.NewResidualMatcher(nfq.Query, nfq.Out)
 		for _, c := range cands {
 			if e.failed[c] || !nfq.SatisfiesOut(e.an, c.Label) {
@@ -407,18 +472,87 @@ func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
 				calls = append(calls, c)
 			}
 		}
-		e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
-		return calls
+		return calls, d
 	}
-	got, st := pattern.MatchedCallsStats(e.doc, nfq.Query, nfq.Out)
-	e.stats.RelevanceQueries++
-	e.stats.NodesVisited += st.NodesVisited
+	var got []*tree.Node
+	var st pattern.Stats
+	if iev != nil {
+		got, st = iev.MatchedCallsIncremental(e.doc, nfq.Out)
+	} else {
+		got, st = pattern.MatchedCallsStats(e.doc, nfq.Query, nfq.Out)
+	}
+	d.queried = true
+	d.nodesVisited = st.NodesVisited
+	d.memoHits = st.MemoHits
 	for _, c := range got {
 		if !e.failed[c] && nfq.SatisfiesOut(e.an, c.Label) {
 			calls = append(calls, c)
 		}
 	}
-	e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
+	return calls, d
+}
+
+// relevantCalls is the sequential entry point around detect: it charges
+// detection time, merges the counters and emits the trace event.
+func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
+	t0 := time.Now()
+	calls, d := e.detect(nfq, e.incremental(nfq))
+	e.stats.DetectTime += time.Since(t0)
+	e.mergeDetect(d)
+	if d.queried {
+		e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
+	}
+	return calls
+}
+
+// detectMany evaluates the members' relevance queries for the current
+// round, sharded over a bounded worker pool when Options.Workers allows
+// (each member query owns its evaluator shard, so workers share only the
+// read-only document). Stats deltas are merged and trace events emitted
+// by the coordinator, in member order, after the pool drains — the
+// parallel rounds stay race-clean and deterministic. Detection time is
+// charged as wall time: the pool's speedup is the observable quantity.
+func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Node {
+	t0 := time.Now()
+	calls := make([][]*tree.Node, len(members))
+	deltas := make([]detectDelta, len(members))
+	ievs := make([]*pattern.IncrementalEvaluator, len(members))
+	for i, m := range members {
+		ievs[i] = e.incremental(queries[m])
+	}
+	workers := e.opt.Workers
+	if workers > len(members) {
+		workers = len(members)
+	}
+	if workers <= 1 {
+		for i, m := range members {
+			calls[i], deltas[i] = e.detect(queries[m], ievs[i])
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					calls[i], deltas[i] = e.detect(queries[members[i]], ievs[i])
+				}
+			}()
+		}
+		for i := range members {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	e.stats.DetectTime += time.Since(t0)
+	for i, d := range deltas {
+		e.mergeDetect(d)
+		if d.queried {
+			e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(queries[members[i]]), Calls: len(calls[i])})
+		}
+	}
 	return calls
 }
 
@@ -620,13 +754,22 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 	return firstErr
 }
 
-// apply splices a response into the document, maintains the guide and the
-// known-name set, and updates accounting.
+// apply splices a response into the document, maintains the guide, the
+// known-name set and the incremental evaluator shards, and updates
+// accounting.
 func (e *engine) apply(call *tree.Node, resp service.Response, wasPushed bool) {
+	parent := call.Parent
 	if e.guide != nil {
 		e.guide.Remove(call)
 	}
 	inserted := e.doc.ReplaceCall(call, resp.Forest)
+	// Every live evaluator shard drops the memo entries this splice can
+	// have changed: the removed call subtree and the root-to-parent
+	// spine. Everything off the spine keeps its memo (solutions depend
+	// only on the keyed node's subtree).
+	for _, iev := range e.incr {
+		iev.Invalidate(parent, call)
+	}
 	for _, n := range inserted {
 		if e.guide != nil {
 			e.guide.AddSubtree(n)

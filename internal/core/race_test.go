@@ -138,6 +138,54 @@ func TestBatchesAgainstMutatingRegistry(t *testing.T) {
 	mutator.Wait()
 }
 
+// TestParallelDetectionSharedCacheRace drives the intra-round detection
+// pool (Workers) with persistent evaluator shards (Incremental) from many
+// concurrent evaluations that all share one response cache — the layering
+// cmd/axmlquery wires up. Under -race this covers the coordinator/worker
+// hand-off, the per-NFQ evaluator shards and the cache's singleflight at
+// once.
+func TestParallelDetectionSharedCacheRace(t *testing.T) {
+	w := workload.Hotels(workload.DefaultSpec())
+	baseline, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, Options{Strategy: NaiveFixpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultKeys(baseline)
+
+	cache := service.NewCache(service.CacheSpec{})
+	cached := cache.Wrap(w.Registry)
+	const evaluators = 8
+	var wg sync.WaitGroup
+	errs := make([]error, evaluators)
+	for g := 0; g < evaluators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out, err := Evaluate(w.Doc.Clone(), w.Query, cached, Options{
+				Strategy: LazyNFQ, Layering: g%2 == 0,
+				Incremental: true, Workers: 8,
+			})
+			switch {
+			case err != nil:
+				errs[g] = err
+			case resultKeys(out) != want:
+				errs[g] = fmt.Errorf("results disagree with naive baseline")
+			case out.Stats.MemoHits == 0:
+				errs[g] = fmt.Errorf("no memo hits — incremental shards inactive")
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("evaluator %d: %v", g, err)
+		}
+	}
+	if st := cache.Stats(); st.Hits+st.Coalesced == 0 {
+		t.Errorf("eight identical evaluations shared no cached responses: %+v", st)
+	}
+}
+
 // TestSharedInjectorConcurrentCounters hammers one injector from many
 // goroutines; the per-service counters and stats must stay exact.
 func TestSharedInjectorConcurrentCounters(t *testing.T) {

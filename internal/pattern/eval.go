@@ -24,15 +24,73 @@ type Result struct {
 // deduplication: document node IDs for node captures and name=value pairs
 // for variable bindings.
 func (r Result) Key() string {
-	var parts []string
-	for k, v := range r.Values {
-		parts = append(parts, "$"+k+"="+v)
+	return canonicalKey(r.Values, func(yield func(int, uint64)) {
+		for id, n := range r.Nodes {
+			yield(id, n.ID)
+		}
+	})
+}
+
+// canonicalKey renders variable bindings and (pattern ID, doc ID) node
+// captures deterministically into one presized buffer: sorted "$k=v"
+// pairs, then sorted "id@docID" pairs. It is the hot path of every
+// deduplication, so it avoids the part-slice/sort.Strings/Join churn of
+// the naive rendering.
+func canonicalKey(vars map[string]string, caps func(yield func(int, uint64))) string {
+	names := make([]string, 0, 8)
+	size := 0
+	for k, v := range vars {
+		names = append(names, k)
+		size += len(k) + len(v) + 3
 	}
-	for id, n := range r.Nodes {
-		parts = append(parts, itoa(id)+"@"+itoa(int(n.ID)))
+	sort.Strings(names)
+	type cap struct {
+		id  int
+		doc uint64
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, ";")
+	ids := make([]cap, 0, 8)
+	caps(func(id int, doc uint64) {
+		ids = append(ids, cap{id, doc})
+		size += 44
+	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i].id < ids[j].id })
+	var sb strings.Builder
+	sb.Grow(size)
+	for i, k := range names {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.WriteByte('$')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(vars[k])
+	}
+	var buf [20]byte
+	for i, c := range ids {
+		if i > 0 || len(names) > 0 {
+			sb.WriteByte(';')
+		}
+		sb.Write(appendUint(buf[:0], uint64(c.id)))
+		sb.WriteByte('@')
+		sb.Write(appendUint(buf[:0], c.doc))
+	}
+	return sb.String()
+}
+
+// appendUint appends the decimal rendering of v to dst without
+// allocating.
+func appendUint(dst []byte, v uint64) []byte {
+	if v == 0 {
+		return append(dst, '0')
+	}
+	var b [20]byte
+	pos := len(b)
+	for v > 0 {
+		pos--
+		b[pos] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(dst, b[pos:]...)
 }
 
 func itoa(i int) string {
@@ -54,8 +112,21 @@ func itoa(i int) string {
 
 // Stats reports the work done by an evaluation, for the experiments.
 type Stats struct {
-	// NodesVisited counts (query node, document node) match attempts.
+	// NodesVisited counts (query node, document node) match attempts
+	// actually computed (memo misses).
 	NodesVisited int
+	// MemoHits counts match attempts answered from the memo table
+	// without recomputation. For a one-shot evaluation these are the
+	// hits within the single pass; for an IncrementalEvaluator they
+	// include reuse across rounds — the work the incremental engine
+	// avoided.
+	MemoHits int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.NodesVisited += other.NodesVisited
+	s.MemoHits += other.MemoHits
 }
 
 // Eval computes the snapshot result of q on doc: one Result per distinct
@@ -64,7 +135,7 @@ type Stats struct {
 func Eval(doc *tree.Document, q *Pattern) ([]Result, Stats) {
 	ev := newEvaluator(q)
 	sols := ev.matchChildren(q.Root(), rootScope{doc: doc})
-	return ev.finish(sols), Stats{NodesVisited: ev.visited}
+	return ev.finish(sols), Stats{NodesVisited: ev.visited, MemoHits: ev.hits}
 }
 
 // EvalForest computes the snapshot result of q over a forest of detached
@@ -74,7 +145,7 @@ func Eval(doc *tree.Document, q *Pattern) ([]Result, Stats) {
 func EvalForest(forest []*tree.Node, q *Pattern) ([]Result, Stats) {
 	ev := newEvaluator(q)
 	sols := ev.matchChildren(q.Root(), rootScope{forest: forest})
-	return ev.finish(sols), Stats{NodesVisited: ev.visited}
+	return ev.finish(sols), Stats{NodesVisited: ev.visited, MemoHits: ev.hits}
 }
 
 // HasEmbedding reports whether q has at least one embedding in doc.
@@ -227,15 +298,11 @@ func merge(a, b solution) (solution, bool) {
 }
 
 func (s solution) key() string {
-	var parts []string
-	for k, v := range s.vars {
-		parts = append(parts, "$"+k+"="+v)
-	}
-	for id, n := range s.caps {
-		parts = append(parts, itoa(id)+"@"+itoa(int(n.ID)))
-	}
-	sort.Strings(parts)
-	return strings.Join(parts, ";")
+	return canonicalKey(s.vars, func(yield func(int, uint64)) {
+		for id, n := range s.caps {
+			yield(id, n.ID)
+		}
+	})
 }
 
 func dedupe(sols []solution) []solution {
@@ -271,6 +338,7 @@ type evaluator struct {
 	desc    map[*tree.Node][]*tree.Node
 	order   map[int][]*Node // query node ID → cost-ordered children
 	visited int
+	hits    int
 
 	// Pinning restricts embeddings to those mapping query node pinID to
 	// pinTarget; used by MatchedCallsPinned. pinTarget == nil disables it.
@@ -336,6 +404,7 @@ func (ev *evaluator) fingerprint(v *Node) string {
 func (ev *evaluator) match(v *Node, n *tree.Node) []solution {
 	key := memoKey{v.ID, n}
 	if e, ok := ev.memo[key]; ok {
+		ev.hits++
 		return e.sols
 	}
 	e := &memoEntry{} // inserted before computing; trees have no cycles

@@ -1,0 +1,111 @@
+package pattern
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/activexml/axml/internal/tree"
+)
+
+// benchSizes are the document scales the micro-benchmarks sweep: small is
+// a unit-test document, large approaches the biggest E1 sweep point.
+var benchSizes = []int{10, 100, 1000}
+
+// benchDoc builds a hotels-shaped document with size hotels, each carrying
+// one embedded call, and returns it with the Figure-4-style query and a
+// call-retrieving relevance query.
+func benchDoc(size int) *tree.Document {
+	root := tree.NewElement("hotels")
+	for i := 0; i < size; i++ {
+		h := root.Append(tree.NewElement("hotel"))
+		h.Append(tree.NewElement("name")).Append(tree.NewText(fmt.Sprintf("Hotel %d", i)))
+		rating := "***"
+		if i%5 == 0 {
+			rating = "*****"
+		}
+		h.Append(tree.NewElement("rating")).Append(tree.NewText(rating))
+		nb := h.Append(tree.NewElement("nearby"))
+		r := nb.Append(tree.NewElement("restaurant"))
+		r.Append(tree.NewElement("name")).Append(tree.NewText(fmt.Sprintf("Chez %d", i)))
+		r.Append(tree.NewElement("rating")).Append(tree.NewText("*****"))
+		nb.Append(tree.NewCall("GetRestaurants", tree.NewElement("p")))
+	}
+	return tree.NewDocument(root)
+}
+
+const benchQuery = `/hotels/hotel[rating="*****"]/nearby//restaurant[name=$X] -> $X`
+const benchCallQuery = `/hotels/hotel[rating="*****"]/nearby/()!`
+
+func BenchmarkEval(b *testing.B) {
+	for _, size := range benchSizes {
+		doc := benchDoc(size)
+		q := MustParse(benchQuery)
+		b.Run(fmt.Sprintf("hotels=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Eval(doc, q)
+			}
+		})
+	}
+}
+
+func BenchmarkMatchedCallsStats(b *testing.B) {
+	for _, size := range benchSizes {
+		doc := benchDoc(size)
+		q := MustParse(benchCallQuery)
+		out := q.ResultNodes()[0]
+		b.Run(fmt.Sprintf("hotels=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatchedCallsStats(doc, q, out)
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalRound measures one engine-shaped round: replace a
+// call, invalidate, re-evaluate. Each replacement splices in a fresh call
+// so the document never runs dry; compare against
+// BenchmarkMatchedCallsStats at the same size for the from-scratch cost.
+func BenchmarkIncrementalRound(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("hotels=%d", size), func(b *testing.B) {
+			doc := benchDoc(size)
+			q := MustParse(benchCallQuery)
+			out := q.ResultNodes()[0]
+			ie := NewIncremental(q)
+			ie.MatchedCallsIncremental(doc, out) // warm the memo
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				calls := doc.Calls()
+				call := calls[i%len(calls)]
+				parent := call.Parent
+				doc.ReplaceCall(call, []*tree.Node{
+					tree.NewElement("restaurant"),
+					tree.NewCall("GetRestaurants", tree.NewElement("p")),
+				})
+				ie.Invalidate(parent, call)
+				ie.MatchedCallsIncremental(doc, out)
+			}
+		})
+	}
+}
+
+// BenchmarkResultKey exercises the canonical key builder shared by
+// Result.Key and solution dedup — the inner-loop allocation hot spot.
+func BenchmarkResultKey(b *testing.B) {
+	doc := benchDoc(10)
+	q := MustParse(benchQuery)
+	rs, _ := Eval(doc, q)
+	if len(rs) == 0 {
+		b.Fatal("no results to key")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rs {
+			r.Key()
+		}
+	}
+}

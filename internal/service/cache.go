@@ -1,0 +1,306 @@
+package service
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// CacheSpec configures a response memo cache.
+type CacheSpec struct {
+	// TTL bounds how long a stored response stays servable; 0 means
+	// forever. AXML service results are quasi-static between evaluations
+	// (the paper's repositories re-fetch on a validity horizon), so the
+	// default is aggressive reuse; deployments fronting live providers
+	// set a TTL.
+	TTL time.Duration
+	// MaxEntries bounds the number of cached responses; 0 means
+	// unbounded. Eviction is FIFO — the workload repeats identical calls
+	// in bursts, so recency tracking buys little over insertion order.
+	MaxEntries int
+	// Now overrides the time source for TTL decisions; nil means
+	// time.Now. Tests use it to age entries deterministically.
+	Now func() time.Time
+}
+
+// CacheStats counts what a cache did.
+type CacheStats struct {
+	// Hits counts invocations served from the cache without touching the
+	// wrapped registry — no latency, no transfer, no fault exposure.
+	Hits int
+	// Misses counts invocations that went through to the wrapped
+	// registry (successful ones are then stored).
+	Misses int
+	// Coalesced counts invocations that piggybacked on an identical
+	// in-flight call instead of issuing their own (singleflight).
+	Coalesced int
+	// Expired counts entries dropped because their TTL lapsed.
+	Expired int
+	// Evictions counts entries dropped to respect MaxEntries.
+	Evictions int
+}
+
+// HitRate returns the fraction of lookups served locally (hits plus
+// coalesced waits over all lookups), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Coalesced + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// Cache memoises successful service responses keyed by (service name,
+// canonical parameter forest, pushed-subquery fingerprint), with
+// singleflight deduplication of identical concurrent invocations. AXML
+// documents repeat calls — the same GetTemp("Paris") embedded at many
+// nodes — and every repeat served from the cache skips the entire
+// latency/retry path.
+//
+// Layering (it wraps a Registry exactly like Faults does):
+//
+//	reg := cache.Wrap(faults.Wrap(base))
+//
+// puts the cache next to the engine: a hit bypasses fault injection and
+// network cost, a miss runs the full flaky path, and only *successful*
+// classed responses are ever stored — a fault is never cached, so the
+// engine's RetryPolicy sees every failure it would see uncached, and a
+// best-effort evaluation can never be fed a remembered failure (or mask a
+// fresh one) by the cache. Under singleflight, callers coalesced onto a
+// failing invocation all receive that invocation's fault, exactly as if
+// they had shared the wire.
+//
+// Cache is safe for concurrent use. The off switch is wiring: evaluate
+// against the unwrapped registry (cmd flags expose this as -no-cache).
+type Cache struct {
+	spec CacheSpec
+
+	mu       sync.Mutex
+	entries  map[string]*cacheEntry
+	order    []string // insertion order, for FIFO eviction
+	inflight map[string]*flight
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	resp     Response // master copy; every hit returns a clone
+	storedAt time.Time
+}
+
+// flight is one in-progress invocation other callers may wait on.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache(spec CacheSpec) *Cache {
+	return &Cache{
+		spec:     spec,
+		entries:  map[string]*cacheEntry{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters. In-flight invocations
+// are unaffected (their waiters still get the shared response; it is just
+// not stored).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*cacheEntry{}
+	c.order = nil
+	c.stats = CacheStats{}
+}
+
+// Len returns the number of stored responses.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Wrap returns a registry proxying reg through the cache. The wrapped
+// services advertise the same latency and push capability; their
+// invocations consult the cache first and delegate to reg on a miss.
+func (c *Cache) Wrap(reg *Registry) *Registry {
+	out := NewRegistry()
+	for _, name := range reg.Names() {
+		inner := reg.Lookup(name)
+		name := name
+		canPush := inner.CanPush
+		out.Register(&Service{
+			Name:    name,
+			Latency: inner.Latency,
+			CanPush: canPush,
+			Remote: func(params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+				if !canPush {
+					pushed = nil
+				}
+				return c.invoke(reg, name, params, pushed)
+			},
+		})
+	}
+	return out
+}
+
+// Key renders the canonical cache identity of an invocation: the service
+// name, each parameter tree's canonical serialisation, and the pushed
+// subquery's fingerprint. Two calls with structurally identical parameters
+// and the same pushed query share a key wherever they sit in the document.
+// The bool is false when the parameters cannot be serialised; such calls
+// bypass the cache.
+func Key(name string, params []*tree.Node, pushed *pattern.Pattern) (string, bool) {
+	size := len(name) + 2
+	rendered := make([][]byte, len(params))
+	for i, p := range params {
+		b, err := tree.Marshal(p)
+		if err != nil {
+			return "", false
+		}
+		rendered[i] = b
+		size += len(b) + 1
+	}
+	var sb strings.Builder
+	sb.Grow(size + 64)
+	sb.WriteString(name)
+	for _, b := range rendered {
+		sb.WriteByte(0)
+		sb.Write(b)
+	}
+	sb.WriteByte(0)
+	if pushed != nil {
+		sb.WriteString(pushed.String())
+	}
+	return sb.String(), true
+}
+
+func (c *Cache) now() time.Time {
+	if c.spec.Now != nil {
+		return c.spec.Now()
+	}
+	return time.Now()
+}
+
+func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+	key, ok := Key(name, params, pushed)
+	if !ok {
+		return reg.Invoke(name, params, pushed)
+	}
+	// Each invocation lands in exactly one of Hits, Coalesced or Misses:
+	// a waiter that loops back to read the stored entry is already
+	// counted as Coalesced and must not also count as a Hit.
+	coalesced := false
+	for {
+		c.mu.Lock()
+		if e := c.entries[key]; e != nil {
+			if c.spec.TTL > 0 && c.now().Sub(e.storedAt) > c.spec.TTL {
+				c.dropLocked(key)
+				c.stats.Expired++
+			} else {
+				if !coalesced {
+					c.stats.Hits++
+				}
+				resp := cloneResponse(e.resp)
+				c.mu.Unlock()
+				// A hit is served locally: nothing crosses the wire, so
+				// it carries no latency and no transfer bytes.
+				resp.Latency = 0
+				resp.Bytes = 0
+				return resp, nil
+			}
+		}
+		if f := c.inflight[key]; f != nil {
+			if !coalesced {
+				coalesced = true
+				c.stats.Coalesced++
+			}
+			c.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return Response{}, f.err
+			}
+			// The leader stored the response (success path); loop to
+			// serve it from the table. If it was evicted in between, the
+			// retry becomes a fresh leader — still correct, just rarer.
+			continue
+		}
+		c.stats.Misses++
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		resp, err := reg.Invoke(name, params, pushed)
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			c.storeLocked(key, cloneResponse(resp))
+		}
+		c.mu.Unlock()
+		f.err = err
+		close(f.done)
+		if err != nil {
+			return Response{}, err
+		}
+		return resp, nil
+	}
+}
+
+// storeLocked inserts a master copy and enforces MaxEntries FIFO.
+func (c *Cache) storeLocked(key string, resp Response) {
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = &cacheEntry{resp: resp, storedAt: c.now()}
+	for c.spec.MaxEntries > 0 && len(c.entries) > c.spec.MaxEntries {
+		oldest := c.order[0]
+		c.dropLocked(oldest)
+		c.stats.Evictions++
+	}
+}
+
+// dropLocked removes one key from the table and the FIFO order.
+func (c *Cache) dropLocked(key string) {
+	delete(c.entries, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// cloneResponse deep-copies the forest so that callers can splice their
+// copy into a document (which mutates parents and assigns IDs) without
+// corrupting the cached master.
+func cloneResponse(r Response) Response {
+	out := r
+	out.Forest = make([]*tree.Node, len(r.Forest))
+	for i, n := range r.Forest {
+		out.Forest[i] = n.Clone()
+	}
+	return out
+}
+
+// Keys returns the stored keys, sorted, for tests and tooling.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
