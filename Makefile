@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench
+.PHONY: check build vet test race fuzz bench telemetry profile
 
-check: vet build race fuzz
+check: vet build telemetry race fuzz
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,19 @@ bench:
 
 microbench:
 	$(GO) test -bench . -benchmem ./internal/pattern/
+	$(GO) test -bench E10TelemetryOverhead -benchmem .
+
+# telemetry gates the observability layer on its own: vet plus the
+# race-detected tests of the tracer/metrics package and the two packages
+# that feed it from concurrent code paths.
+telemetry:
+	$(GO) vet ./internal/telemetry/ ./internal/core/ ./internal/soap/
+	$(GO) test -race -count=1 ./internal/telemetry/ ./internal/core/ ./internal/soap/
+
+# profile captures CPU and heap profiles of the E10 incremental sweep
+# together with its span trace and result table. Inspect with
+# `go tool pprof cpu.pprof` / `go tool pprof heap.pprof`.
+profile:
+	$(GO) run ./cmd/axmlbench -exp E10 -quick \
+		-cpuprofile cpu.pprof -memprofile heap.pprof \
+		-json BENCH_E10.json -trace-out E10_trace.jsonl

@@ -17,6 +17,7 @@ import (
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/rewrite"
 	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/workload"
 )
 
@@ -80,6 +81,37 @@ func BenchmarkStrategies(b *testing.B) {
 			b.ReportMetric(float64(virt)/float64(b.N)/1e6, "virt-ms/op")
 		})
 	}
+}
+
+// BenchmarkE10TelemetryOverhead pins the cost of the telemetry layer on
+// the E10 incremental sweep: "disabled" is the default nil-instrument
+// path (the overhead budget is ≤2% against a build without the hooks,
+// see doc/OBSERVABILITY.md), "enabled" runs with a live registry and
+// span tracer.
+func BenchmarkE10TelemetryOverhead(b *testing.B) {
+	e, ok := bench.ByID("E10")
+	if !ok {
+		b.Fatal("no experiment E10")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		scale := bench.Quick()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scale := bench.Quick()
+			scale.Tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+			if _, err := e.RunInstrumented(scale); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Substrate micro-benchmarks.

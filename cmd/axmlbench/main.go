@@ -11,7 +11,15 @@
 // Each experiment prints an aligned table; see DESIGN.md §4 for what each
 // one reproduces and EXPERIMENTS.md for recorded runs. With -json the
 // tables are also written, machine-readably, to the given file — `make
-// bench` uses it to record the BENCH_*.json perf trajectory.
+// bench` uses it to record the BENCH_*.json perf trajectory. The JSON
+// tables carry a Metrics section with detect/invoke latency quantiles
+// observed during the runs.
+//
+// Profiling (`make profile` wraps this for E10):
+//
+//	-cpuprofile cpu.pprof   # CPU profile of the experiment runs
+//	-memprofile heap.pprof  # heap profile written at exit
+//	-trace-out  spans.jsonl # every evaluation's telemetry spans as JSONL
 package main
 
 import (
@@ -20,8 +28,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/activexml/axml/internal/bench"
+	"github.com/activexml/axml/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +47,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quick    = fs.Bool("quick", false, "use the small test-scale sweeps")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonPath = fs.String("json", "", "also write the result tables as JSON to this file")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		traceOut = fs.String("trace-out", "", "stream every evaluation's telemetry spans to this file as JSONL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,6 +65,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *quick {
 		scale = bench.Quick()
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlbench: create trace file: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		scale.Tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+		scale.Tracer.SetSink(telemetry.SinkJSONL(f))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlbench: create cpu profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "axmlbench: start cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 	experiments := bench.All()
 	if *exp != "" {
 		e, ok := bench.ByID(*exp)
@@ -65,7 +102,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if i > 0 {
 			fmt.Fprintln(stdout)
 		}
-		table, err := e.Run(scale)
+		// Each experiment gets its own registry so the quantiles in the
+		// JSON output are per-experiment, not cross-contaminated.
+		table, err := e.RunInstrumented(scale)
 		if err != nil {
 			fmt.Fprintf(stderr, "axmlbench: %s: %v\n", e.ID, err)
 			return 1
@@ -81,6 +120,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
 			fmt.Fprintf(stderr, "axmlbench: write json: %v\n", err)
+			return 1
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlbench: create heap profile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "axmlbench: write heap profile: %v\n", err)
 			return 1
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"github.com/activexml/axml/internal/bench"
+	"github.com/activexml/axml/internal/telemetry"
 )
 
 func TestList(t *testing.T) {
@@ -68,5 +69,53 @@ func TestJSONOutput(t *testing.T) {
 	}
 	if len(tables[0].Rows) == 0 || len(tables[0].Notes) == 0 {
 		t.Fatal("E10 table missing rows or notes")
+	}
+	// The instrumented run must report latency quantiles for the phases
+	// E10 exercises.
+	for _, name := range []string{"axml_detect_seconds", "axml_invoke_virtual_seconds"} {
+		h, ok := tables[0].Metrics[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("metrics summary misses %s: %+v", name, tables[0].Metrics)
+		}
+	}
+}
+
+// TestProfileAndTraceFlags runs a quick experiment with every profiling
+// output enabled and checks the artifacts are produced and parseable.
+func TestProfileAndTraceFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	spans := filepath.Join(dir, "spans.jsonl")
+	var out, errOut strings.Builder
+	code := run([]string{
+		"-quick", "-exp", "E10",
+		"-cpuprofile", cpu, "-memprofile", heap, "-trace-out", spans,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, p := range []string{cpu, heap} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	f, err := os.Open(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	decoded, err := telemetry.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, s := range decoded {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"evaluate", "detect", "invoke"} {
+		if !names[want] {
+			t.Errorf("trace JSONL misses %q spans", want)
+		}
 	}
 }

@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -43,6 +45,7 @@ import (
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
 )
@@ -82,7 +85,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "evaluate each round's relevance queries on this many goroutines (0/1 = sequential)")
 		noIncr     = fs.Bool("no-incremental", false, "re-evaluate relevance queries from scratch each round")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
-		explain    = fs.Bool("explain", false, "trace layers, relevance detection and invocations to stderr")
+		explain    = fs.Bool("explain", false, "print the evaluation's span tree (detect/invoke timings, pruned vs invoked) to stderr")
+		traceOut   = fs.String("trace-out", "", "stream finished telemetry spans to this file as JSONL")
+		serveDebug = fs.String("serve-debug", "", "serve /metrics, /debug/trace and /debug/pprof on this address (e.g. :8090) while evaluating")
 		tmplText   = fs.String("template", "", "render results through an XML template with {$X} placeholders")
 		outPath    = fs.String("out", "", "write the materialised document here")
 	)
@@ -134,8 +139,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *bestEffort {
 		opt.Failure = core.BestEffort
 	}
-	if *explain {
-		opt.Trace = func(e core.TraceEvent) { fmt.Fprintln(stderr, e) }
+	// Telemetry is opt-in: the tracer exists only when something consumes
+	// spans, the metrics registry only when something reads it, so plain
+	// runs keep the disabled-telemetry fast path.
+	var tracer *telemetry.Tracer
+	if *explain || *traceOut != "" || *serveDebug != "" {
+		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+		opt.Tracer = tracer
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail("create trace file", err)
+		}
+		defer f.Close()
+		tracer.SetSink(telemetry.SinkJSONL(f))
+	}
+	var metrics *telemetry.Registry
+	if *stats || *serveDebug != "" {
+		metrics = telemetry.NewRegistry()
+		opt.Metrics = metrics
+	}
+	if *serveDebug != "" {
+		ln, err := net.Listen("tcp", *serveDebug)
+		if err != nil {
+			return fail("serve-debug listen", err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(stderr, "debug endpoints on http://%s (/metrics, /debug/trace, /debug/pprof)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, telemetry.Handler(metrics, tracer)) }()
 	}
 	if *schemaPath != "" {
 		sdata, err := os.ReadFile(*schemaPath)
@@ -154,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var reg *service.Registry
 	if *provider != "" {
-		client := &soap.Client{BaseURL: *provider, Timeout: *timeout}
+		client := &soap.Client{BaseURL: *provider, Timeout: *timeout, Metrics: metrics}
 		reg, err = client.RegistryFor()
 		if err != nil {
 			return fail("describe provider", err)
@@ -166,12 +198,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var cache *service.Cache
 	if !*noCache {
 		cache = service.NewCache(service.CacheSpec{TTL: *cacheTTL})
+		cache.Instrument(metrics)
 		reg = cache.Wrap(reg)
 	}
 
 	out, err := core.Evaluate(doc, q, reg, opt)
 	if err != nil {
 		return fail("evaluate", err)
+	}
+	if *explain {
+		fmt.Fprintln(stderr, "explain:")
+		telemetry.WriteTree(stderr, tracer.Spans(0))
 	}
 
 	if *tmplText != "" {
@@ -205,6 +242,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "  svc cache:          %d hit(s), %d miss(es), %d coalesced (%.0f%% served locally)\n",
 				cs.Hits, cs.Misses, cs.Coalesced, 100*cs.HitRate())
 		}
+		printQuantiles(stderr, metrics)
 	}
 	if *outPath != "" {
 		b, err := tree.MarshalIndent(doc.Root)
@@ -239,6 +277,28 @@ func printResults(w io.Writer, out *core.Outcome) {
 			parts = append(parts, r.Nodes[id].String())
 		}
 		fmt.Fprintf(w, "%3d. %s\n", i+1, strings.Join(parts, "  "))
+	}
+}
+
+// printQuantiles appends latency quantiles for the phases the metrics
+// registry observed during the run.
+func printQuantiles(w io.Writer, reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	snap := reg.Snapshot()
+	rows := []struct{ label, metric string }{
+		{"detect latency", telemetry.MetricDetectSeconds},
+		{"invoke latency", telemetry.MetricInvokeWallSeconds},
+		{"wire latency", telemetry.MetricHTTPClientSeconds},
+	}
+	for _, row := range rows {
+		h, ok := snap.Histograms[row.metric]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-19s n=%d p50=%v p95=%v p99=%v max=%v\n",
+			row.label+":", h.Count, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max)
 	}
 }
 

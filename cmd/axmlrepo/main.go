@@ -10,10 +10,11 @@
 //	axmlrepo -dir repo get <name>                print a document
 //	axmlrepo -dir repo list                      list stored documents
 //	axmlrepo -dir repo delete <name>             remove a document
-//	axmlrepo -dir repo query <name> <query> [-provider URL] [-save]
+//	axmlrepo -dir repo query <name> <query> [-provider URL] [-save] [-explain]
 //	                                             evaluate lazily; -save
 //	                                             stores the materialised
-//	                                             document back
+//	                                             document back, -explain
+//	                                             prints the span tree
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
 	"github.com/activexml/axml/internal/store"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
 )
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		dir      = fs.String("dir", "axml-repo", "repository directory")
 		provider = fs.String("provider", "", "remote provider for query (default: built-in demo services)")
 		save     = fs.Bool("save", false, "query: store the materialised document back")
+		explain  = fs.Bool("explain", false, "query: print the evaluation's span tree to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -123,6 +126,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		opt := core.Options{Strategy: core.LazyNFQ}
+		var tracer *telemetry.Tracer
+		if *explain {
+			tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+			opt.Tracer = tracer
+		}
 		var reg *service.Registry
 		if *provider != "" {
 			client := &soap.Client{BaseURL: *provider}
@@ -137,6 +145,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out, err := core.Evaluate(doc, q, reg, opt)
 		if err != nil {
 			return fail(err)
+		}
+		if tracer != nil {
+			fmt.Fprintln(stderr, "explain:")
+			telemetry.WriteTree(stderr, tracer.Spans(0))
 		}
 		fmt.Fprintf(stdout, "%d result(s), %d call(s) invoked\n", len(out.Results), out.Stats.CallsInvoked)
 		for i, r := range out.Results {

@@ -11,6 +11,10 @@
 //
 //	GET  /services            service descriptor (WSDL-lite)
 //	POST /services/<name>     invoke a service
+//	GET  /metrics             Prometheus text exposition (request latency
+//	                          histograms, fault and cache counters)
+//	GET  /debug/trace?last=N  recent invocation spans as JSON
+//	GET  /debug/pprof/...     net/http/pprof profiles
 //
 // With -recursive the provider materialises its own intensional results
 // before honouring pushed queries (the peer deployment of the paper's
@@ -26,7 +30,9 @@ import (
 	"os"
 	"time"
 
+	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
 )
@@ -48,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		sleep     = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
 		deadline  = fs.Duration("deadline", 0, "per-invocation server deadline (0 = unbounded); expired calls answer 504 with a timeout-classed fault")
 		recursive = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
+		cached    = fs.Bool("cache", true, "memoise service responses server-side (counters on /metrics)")
+		cacheTTL  = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
 		dump      = fs.String("dump-doc", "", "write the demo client document to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -63,6 +71,13 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	reg := w.Registry
 	if *recursive {
 		reg = soap.RecursivePush(reg, 1_000_000)
+	}
+	metrics := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	if *cached {
+		cache := service.NewCache(service.CacheSpec{TTL: *cacheTTL})
+		cache.Instrument(metrics)
+		reg = cache.Wrap(reg)
 	}
 
 	if *dump != "" {
@@ -87,12 +102,18 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fmt.Fprintf(stdout, "axmlserver: serving %d services on %s (push=%t, sleep=%t, recursive=%t)\n",
 		len(reg.Names()), ln.Addr(), *push, *sleep, *recursive)
 	fmt.Fprintf(stdout, "  descriptor: GET http://%s/services\n", ln.Addr())
+	fmt.Fprintf(stdout, "  telemetry:  GET http://%s/metrics, /debug/trace, /debug/pprof\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 	srv := soap.NewServer(reg, *sleep)
 	srv.Deadline = *deadline
-	if err := http.Serve(ln, srv); err != nil {
+	srv.Metrics = metrics
+	srv.Tracer = tracer
+	mux := http.NewServeMux()
+	telemetry.Mount(mux, metrics, tracer)
+	mux.Handle("/", srv)
+	if err := http.Serve(ln, mux); err != nil {
 		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
 		return 1
 	}

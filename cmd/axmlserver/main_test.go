@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -78,6 +83,93 @@ func TestServeAndQuery(t *testing.T) {
 	}
 	if len(res.Results) != w.ExpectedResults {
 		t.Fatalf("results = %d, want %d", len(res.Results), w.ExpectedResults)
+	}
+}
+
+// TestMetricsEndpoint runs real queries against a serving axmlserver and
+// then scrapes /metrics: the request-latency histogram must have counted
+// the invocations and the server-side cache must report both misses (the
+// first evaluation) and hits (the identical second one). /debug/trace
+// must return the invocation spans.
+func TestMetricsEndpoint(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errOut strings.Builder
+	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10"}, &out, &errOut, ready)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not start: %s", errOut.String())
+	}
+	client := &soap.Client{BaseURL: "http://" + addr}
+	reg, err := client.RegistryFor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.DefaultSpec()
+	spec.Hotels = 10
+	spec.HiddenHotels = 2
+	w := workload.Hotels(spec)
+	for i := 0; i < 2; i++ {
+		res, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, core.Options{
+			Strategy: core.LazyNFQ, Clock: service.NewWallClock(false),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Results) != w.ExpectedResults {
+			t.Fatalf("results = %d, want %d", len(res.Results), w.ExpectedResults)
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := string(body)
+	sample := func(name string) int {
+		t.Helper()
+		m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(prom)
+		if m == nil {
+			t.Fatalf("metric %s missing from /metrics:\n%s", name, prom)
+		}
+		n, _ := strconv.Atoi(m[1])
+		return n
+	}
+	if n := sample("axml_http_requests_total"); n == 0 {
+		t.Fatal("no requests counted")
+	}
+	if n := sample("axml_http_handler_seconds_count"); n == 0 {
+		t.Fatal("handler latency histogram empty")
+	}
+	if !strings.Contains(prom, "axml_http_handler_seconds_bucket") {
+		t.Fatalf("handler latency buckets missing:\n%s", prom)
+	}
+	if n := sample("axml_cache_misses_total"); n == 0 {
+		t.Fatal("first evaluation should have missed the cache")
+	}
+	if n := sample("axml_cache_hits_total"); n == 0 {
+		t.Fatal("second evaluation should have hit the cache")
+	}
+
+	traceResp, err := http.Get("http://" + addr + "/debug/trace?last=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	var spans []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(traceResp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 || spans[0].Name != "http-invoke" {
+		t.Fatalf("expected http-invoke spans on /debug/trace, got %v", spans)
 	}
 }
 

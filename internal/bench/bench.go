@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"github.com/activexml/axml/internal/telemetry"
 )
 
 // Table is one experiment's output: a titled grid of rows.
@@ -27,6 +29,9 @@ type Table struct {
 	Rows [][]string
 	// Notes records correctness checks and observations.
 	Notes []string
+	// Metrics holds latency-quantile summaries per histogram name when
+	// the experiment ran instrumented (RunInstrumented); empty otherwise.
+	Metrics map[string]HistogramSummary `json:",omitempty"`
 }
 
 // String renders the table as aligned text.
@@ -98,6 +103,13 @@ type Scale struct {
 	// evaluation sweep; they mirror E1Sizes so the incremental win is
 	// reported on the same documents as the headline strategy sweep.
 	E10Sizes []int
+	// Metrics, when set, is threaded through every evaluation an
+	// experiment runs, accumulating detect/invoke latency histograms
+	// (cmd/axmlbench -json reports their quantiles). Nil disables.
+	Metrics *telemetry.Registry
+	// Tracer, when set, receives every evaluation's span tree
+	// (cmd/axmlbench -trace-out streams it as JSONL). Nil disables.
+	Tracer *telemetry.Tracer
 }
 
 // Quick is the scale used by tests and testing.B benchmarks.
@@ -154,6 +166,49 @@ func All() []Experiment {
 		{"E9", "lazy vs naive under injected faults with retries", E9},
 		{"E10", "incremental evaluation and response caching cut re-evaluation work", E10},
 	}
+}
+
+// RunInstrumented runs the experiment with a metrics registry threaded
+// through every evaluation (the scale's own, or a fresh one) and
+// attaches the observed latency summaries to the returned table.
+func (e Experiment) RunInstrumented(s Scale) (Table, error) {
+	if s.Metrics == nil {
+		s.Metrics = telemetry.NewRegistry()
+	}
+	t, err := e.Run(s)
+	t.Metrics = Summarize(s.Metrics)
+	return t, err
+}
+
+// HistogramSummary reports one latency histogram's shape for JSON
+// export: observation count and log-scale quantile estimates.
+type HistogramSummary struct {
+	Count uint64  `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Summarize extracts a quantile summary for every histogram the registry
+// observed (empty histograms are skipped).
+func Summarize(reg *telemetry.Registry) map[string]HistogramSummary {
+	snap := reg.Snapshot()
+	out := map[string]HistogramSummary{}
+	toMs := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		out[name] = HistogramSummary{
+			Count: h.Count,
+			P50ms: toMs(h.Quantile(0.50)),
+			P95ms: toMs(h.Quantile(0.95)),
+			P99ms: toMs(h.Quantile(0.99)),
+			MaxMs: toMs(h.Max),
+		}
+	}
+	return out
 }
 
 // ByID returns the experiment with the given ID.

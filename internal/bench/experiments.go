@@ -14,10 +14,11 @@ import (
 
 // evalWorld runs one evaluation over a fresh clone of the world's
 // document and verifies the ground-truth result count.
-func evalWorld(w *workload.World, opt core.Options) (*core.Outcome, error) {
+func evalWorld(s Scale, w *workload.World, opt core.Options) (*core.Outcome, error) {
 	if opt.Strategy == core.LazyNFQTyped && opt.Schema == nil {
 		opt.Schema = w.Schema
 	}
+	opt.Metrics, opt.Tracer = s.Metrics, s.Tracer
 	out, err := core.Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
 	if err != nil {
 		return nil, err
@@ -55,7 +56,7 @@ func E1(s Scale) (Table, error) {
 		w := workload.Hotels(spec)
 		var naive, best time.Duration
 		for _, opt := range strategies {
-			out, err := evalWorld(w, opt)
+			out, err := evalWorld(s, w, opt)
 			if err != nil {
 				return t, err
 			}
@@ -95,11 +96,11 @@ func E2(s Scale) (Table, error) {
 		spec := workload.DefaultSpec()
 		spec.Latency = lat
 		w := workload.Hotels(spec)
-		naive, err := evalWorld(w, core.Options{Strategy: core.NaiveFixpoint})
+		naive, err := evalWorld(s, w, core.Options{Strategy: core.NaiveFixpoint})
 		if err != nil {
 			return t, err
 		}
-		lazy, err := evalWorld(w, core.Options{Strategy: core.LazyNFQTyped})
+		lazy, err := evalWorld(s, w, core.Options{Strategy: core.LazyNFQTyped})
 		if err != nil {
 			return t, err
 		}
@@ -126,11 +127,11 @@ func E3(s Scale) (Table, error) {
 		spec.RestosPerCall = 100
 		spec.FiveStarRestos = sel
 		w := workload.Hotels(spec)
-		plain, err := evalWorld(w, core.Options{Strategy: core.LazyNFQTyped})
+		plain, err := evalWorld(s, w, core.Options{Strategy: core.LazyNFQTyped})
 		if err != nil {
 			return t, err
 		}
-		push, err := evalWorld(w, core.Options{Strategy: core.LazyNFQTyped, Push: true})
+		push, err := evalWorld(s, w, core.Options{Strategy: core.LazyNFQTyped, Push: true})
 		if err != nil {
 			return t, err
 		}
@@ -160,11 +161,11 @@ func E4(s Scale) (Table, error) {
 		spec := workload.DefaultSpec()
 		spec.MaterializedRestos = bulk
 		w := workload.Hotels(spec)
-		direct, err := evalWorld(w, core.Options{Strategy: core.LazyNFQ})
+		direct, err := evalWorld(s, w, core.Options{Strategy: core.LazyNFQ})
 		if err != nil {
 			return t, err
 		}
-		guided, err := evalWorld(w, core.Options{Strategy: core.LazyNFQ, UseGuide: true})
+		guided, err := evalWorld(s, w, core.Options{Strategy: core.LazyNFQ, UseGuide: true})
 		if err != nil {
 			return t, err
 		}
@@ -208,7 +209,7 @@ func E5(s Scale) (Table, error) {
 		w := workload.Hotels(spec)
 		var calls int
 		for _, m := range modes {
-			out, err := evalWorld(w, m.opt)
+			out, err := evalWorld(s, w, m.opt)
 			if err != nil {
 				return t, err
 			}
@@ -247,6 +248,7 @@ func E6(s Scale) (Table, error) {
 		for _, mode := range []schema.Mode{schema.Exact, schema.Lenient} {
 			out, err := core.Evaluate(w.Doc.Clone(), w.StarQuery, w.Registry, core.Options{
 				Strategy: core.LazyNFQTyped, Schema: w.Schema, SchemaMode: mode,
+				Metrics: s.Metrics, Tracer: s.Tracer,
 			})
 			if err != nil {
 				return t, err
@@ -288,6 +290,7 @@ func E7(s Scale) (Table, error) {
 		}
 		var want int
 		for i, m := range modes {
+			m.opt.Metrics, m.opt.Tracer = s.Metrics, s.Tracer
 			out, err := core.Evaluate(w.Doc.Clone(), w.JoinQuery, w.Registry, m.opt)
 			if err != nil {
 				return t, err
@@ -334,6 +337,7 @@ func E8(s Scale) (Table, error) {
 			{Strategy: core.LazyNFQTyped, Schema: w.Schema, Push: true, Layering: true},
 		} {
 			opt.Clock = service.NewWallClock(false)
+			opt.Metrics, opt.Tracer = s.Metrics, s.Tracer
 			start := time.Now()
 			out, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, opt)
 			if err != nil {
@@ -381,12 +385,15 @@ func E9(s Scale) (Table, error) {
 		for _, opt := range strategies {
 			reg := w.Registry
 			if rate > 0 {
-				reg = service.NewFaults(service.FaultSpec{
+				faults := service.NewFaults(service.FaultSpec{
 					Seed: 9, ErrorRate: rate, TimeoutRate: rate / 4,
-				}).Wrap(w.Registry)
+				})
+				faults.Instrument(s.Metrics)
+				reg = faults.Wrap(w.Registry)
 			}
 			opt.Retry = retry
 			opt.Failure = core.BestEffort
+			opt.Metrics, opt.Tracer = s.Metrics, s.Tracer
 			out, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, opt)
 			if err != nil {
 				return t, err
@@ -451,8 +458,10 @@ func E10(s Scale) (Table, error) {
 			var cache *service.Cache
 			if m.cache {
 				cache = service.NewCache(service.CacheSpec{})
+				cache.Instrument(s.Metrics)
 				reg = cache.Wrap(w.Registry)
 			}
+			m.opt.Metrics, m.opt.Tracer = s.Metrics, s.Tracer
 			out, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, m.opt)
 			if err != nil {
 				return t, err

@@ -29,6 +29,7 @@ import (
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
 )
 
 // Strategy selects the call-invocation policy.
@@ -139,7 +140,24 @@ type Options struct {
 	// Trace, when set, receives one event per layer start, relevance
 	// detection round and invocation — the engine's explain output.
 	// Handlers run synchronously and must not re-enter the engine.
+	// Events are emitted deterministically, ordered by (Layer, Round,
+	// Shard), including under a parallel detection pool.
 	Trace TraceFunc
+	// Tracer, when set, receives hierarchical telemetry spans —
+	// evaluate → analysis/layer → detect/invoke — with wall-clock and
+	// virtual-clock durations, shard identity and per-phase attributes
+	// (the data behind axmlquery -explain and /debug/trace). Span
+	// emission is race-clean under Options.Workers: shard timings are
+	// measured in the workers and emitted by the coordinator in
+	// deterministic order. Nil disables span collection at the cost of
+	// one pointer test per instrumentation point.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, receives the engine's counters and log-scale
+	// latency histograms (metric names in doc/OBSERVABILITY.md:
+	// axml_evaluations_total, axml_detect_seconds, …). Instruments are
+	// resolved once per evaluation; hot-path updates are atomic and
+	// allocation-free. Nil disables metric recording.
+	Metrics *telemetry.Registry
 }
 
 // DefaultMaxCalls bounds invocation counts when Options.MaxCalls is 0.

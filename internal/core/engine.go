@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,8 +13,44 @@ import (
 	"github.com/activexml/axml/internal/rewrite"
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
+
+// coreMetrics holds the engine's pre-resolved telemetry instruments so
+// hot-path updates are single atomic operations (no map lookups, no
+// allocation). All fields are nil when Options.Metrics is unset; the
+// nil instruments swallow updates.
+type coreMetrics struct {
+	evals      *telemetry.Counter
+	calls      *telemetry.Counter
+	pruned     *telemetry.Counter
+	retries    *telemetry.Counter
+	giveups    *telemetry.Counter
+	pushed     *telemetry.Counter
+	evalSecs   *telemetry.Histogram
+	detectSecs *telemetry.Histogram
+	invokeWall *telemetry.Histogram
+	invokeVirt *telemetry.Histogram
+}
+
+func resolveMetrics(reg *telemetry.Registry) coreMetrics {
+	if reg == nil {
+		return coreMetrics{}
+	}
+	return coreMetrics{
+		evals:      reg.Counter(telemetry.MetricEvaluations),
+		calls:      reg.Counter(telemetry.MetricCallsInvoked),
+		pruned:     reg.Counter(telemetry.MetricCallsPruned),
+		retries:    reg.Counter(telemetry.MetricRetries),
+		giveups:    reg.Counter(telemetry.MetricGiveUps),
+		pushed:     reg.Counter(telemetry.MetricPushedCalls),
+		evalSecs:   reg.Histogram(telemetry.MetricEvalSeconds),
+		detectSecs: reg.Histogram(telemetry.MetricDetectSeconds),
+		invokeWall: reg.Histogram(telemetry.MetricInvokeWallSeconds),
+		invokeVirt: reg.Histogram(telemetry.MetricInvokeVirtualSeconds),
+	}
+}
 
 // Evaluate computes the full result of q over doc, invoking services from
 // reg according to the options. The document is mutated in place: relevant
@@ -27,7 +64,11 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 	}
 	e := &engine{doc: doc, q: q, reg: reg, opt: opt,
 		names: map[string]bool{}, failed: map[*tree.Node]bool{},
-		incr: map[*rewrite.NFQ]*pattern.IncrementalEvaluator{}}
+		incr: map[*rewrite.NFQ]*pattern.IncrementalEvaluator{},
+		met:  resolveMetrics(opt.Metrics)}
+	evalStart := time.Now()
+	e.spanEval = opt.Tracer.Start("evaluate", 0)
+	e.spanEval.SetAttr("strategy", opt.Strategy.String())
 	for _, c := range doc.Calls() {
 		e.names[c.Label] = true
 	}
@@ -55,9 +96,11 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 	case TopDownEager, LazyLPQ, LazyNFQ, LazyNFQTyped:
 		err = e.runLazy()
 	default:
-		return nil, fmt.Errorf("core: unknown strategy %v", opt.Strategy)
+		err = fmt.Errorf("core: unknown strategy %v", opt.Strategy)
 	}
 	if err != nil {
+		e.spanEval.SetAttr("error", err.Error())
+		e.spanEval.End()
 		return nil, err
 	}
 	if len(e.failures) > 0 {
@@ -71,10 +114,29 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 		ok, cerr := Complete(doc, q, e.opt.Schema, e.opt.SchemaMode)
 		e.complete = cerr == nil && ok
 	}
+	resultSpan := e.opt.Tracer.Start("result-eval", e.spanEval.ID())
 	results, st := pattern.Eval(doc, q)
+	resultSpan.SetInt("results", int64(len(results)))
+	resultSpan.End()
 	e.stats.NodesVisited += st.NodesVisited
 	e.stats.VirtualTime = e.opt.Clock.Elapsed()
 	e.stats.FinalSize = doc.Size()
+	// Calls still pending in the final document were never deemed
+	// relevant: they are the calls laziness pruned (the paper's headline
+	// savings metric).
+	prunedCalls := len(e.pendingCalls())
+	e.spanEval.SetInt("calls_invoked", int64(e.stats.CallsInvoked))
+	e.spanEval.SetInt("calls_pruned", int64(prunedCalls))
+	e.spanEval.SetInt("results", int64(len(results)))
+	e.spanEval.AddVirtual(e.stats.VirtualTime)
+	e.spanEval.End()
+	e.met.evals.Inc()
+	e.met.calls.Add(int64(e.stats.CallsInvoked))
+	e.met.pruned.Add(int64(prunedCalls))
+	e.met.retries.Add(int64(e.stats.Retries))
+	e.met.giveups.Add(int64(e.stats.FailedCalls))
+	e.met.pushed.Add(int64(e.stats.PushedCalls))
+	e.met.evalSecs.Observe(time.Since(evalStart))
 	return &Outcome{Results: results, Complete: e.complete, Failures: e.failures, Stats: e.stats}, nil
 }
 
@@ -107,6 +169,26 @@ type engine struct {
 	incr map[*rewrite.NFQ]*pattern.IncrementalEvaluator
 	// traceLayer is the current layer index, stamped onto trace events.
 	traceLayer int
+	// round is the sequential detection/invocation round counter,
+	// stamped onto trace events and telemetry spans (1-based within an
+	// evaluation).
+	round int
+	// met holds the pre-resolved telemetry instruments (all nil when
+	// metrics are off).
+	met coreMetrics
+	// spanEval and spanLayer are the open telemetry spans detect and
+	// invoke spans parent under (nil when tracing is off).
+	spanEval  *telemetry.ActiveSpan
+	spanLayer *telemetry.ActiveSpan
+}
+
+// spanParent is the enclosing span for detect/invoke spans: the current
+// layer when layering is on, the evaluation root otherwise.
+func (e *engine) spanParent() telemetry.SpanID {
+	if e.spanLayer != nil {
+		return e.spanLayer.ID()
+	}
+	return e.spanEval.ID()
 }
 
 // budgetLeft reports how many more calls may be invoked.
@@ -124,6 +206,7 @@ func (e *engine) runNaive() error {
 		if e.budgetLeft() <= 0 {
 			return nil
 		}
+		e.round++
 		if len(calls) > e.budgetLeft() {
 			calls = calls[:e.budgetLeft()]
 		}
@@ -146,8 +229,10 @@ func (e *engine) runNaive() error {
 // relaxation of Section 6, and pushing of Section 7.
 func (e *engine) runLazy() error {
 	t0 := time.Now()
+	analysisSpan := e.opt.Tracer.Start("analysis", e.spanEval.ID())
 	if e.opt.Strategy == LazyNFQTyped {
 		if e.opt.Schema == nil {
+			analysisSpan.End()
 			return fmt.Errorf("core: LazyNFQTyped requires a schema")
 		}
 		e.an = schema.NewAnalyzer(e.opt.Schema, e.q, e.opt.SchemaMode)
@@ -158,6 +243,7 @@ func (e *engine) runLazy() error {
 	// the layer structure is computed once.
 	base, err := e.buildQueries(nil)
 	if err != nil {
+		analysisSpan.End()
 		return err
 	}
 	var analysis *influence.Analysis
@@ -167,9 +253,14 @@ func (e *engine) runLazy() error {
 		layers = analysis.Layers()
 	}
 	e.stats.AnalysisTime += time.Since(t0)
+	analysisSpan.SetInt("queries", int64(len(base)))
+	analysisSpan.SetInt("layers", int64(len(layers)))
+	analysisSpan.End()
 
 	if e.opt.UseGuide {
+		guideSpan := e.opt.Tracer.Start("guide-build", e.spanEval.ID())
 		e.guide = fguide.Build(e.doc)
+		guideSpan.End()
 	}
 
 	done := map[int]bool{}
@@ -177,7 +268,22 @@ func (e *engine) runLazy() error {
 		members := layer.SortedMembers()
 		e.traceLayer = li
 		e.emit(TraceEvent{Kind: TraceLayer, Calls: len(members)})
-		if err := e.drainLayer(members, analysis, done); err != nil {
+		e.spanLayer = e.opt.Tracer.Start("layer", e.spanEval.ID())
+		e.spanLayer.SetInt("layer", int64(li))
+		e.spanLayer.SetInt("members", int64(len(members)))
+		invokedBefore, virtBefore := e.stats.CallsInvoked, e.opt.Clock.Elapsed()
+		err := e.drainLayer(members, analysis, done)
+		// Per-layer pruned-vs-invoked accounting: invoked is the layer's
+		// delta; skipped is what stayed pending when the layer settled —
+		// calls visible to this layer's relevance analysis that it did
+		// not invoke (a later layer may still take them; whatever is
+		// left at the end of the evaluation was pruned outright).
+		e.spanLayer.SetInt("invoked", int64(e.stats.CallsInvoked-invokedBefore))
+		e.spanLayer.SetInt("skipped", int64(len(e.pendingCalls())))
+		e.spanLayer.AddVirtual(e.opt.Clock.Elapsed() - virtBefore)
+		e.spanLayer.End()
+		e.spanLayer = nil
+		if err != nil {
 			return err
 		}
 		if e.budgetLeft() <= 0 {
@@ -228,6 +334,7 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 		if e.budgetLeft() <= 0 {
 			return nil
 		}
+		e.round++
 		if queries == nil || (e.an != nil && builtAt != e.nameVersion) {
 			t0 := time.Now()
 			var err error
@@ -291,7 +398,7 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 			if sets != nil {
 				calls = sets[mi]
 			} else {
-				calls = e.relevantCalls(nfq)
+				calls = e.relevantCalls(nfq, mi)
 			}
 			if len(calls) == 0 {
 				continue
@@ -493,16 +600,39 @@ func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator) ([]
 }
 
 // relevantCalls is the sequential entry point around detect: it charges
-// detection time, merges the counters and emits the trace event.
-func (e *engine) relevantCalls(nfq *rewrite.NFQ) []*tree.Node {
+// detection time, merges the counters, emits the trace event and the
+// telemetry span. shard is the member's slot in the current layer.
+func (e *engine) relevantCalls(nfq *rewrite.NFQ, shard int) []*tree.Node {
 	t0 := time.Now()
 	calls, d := e.detect(nfq, e.incremental(nfq))
-	e.stats.DetectTime += time.Since(t0)
+	elapsed := time.Since(t0)
+	e.stats.DetectTime += elapsed
 	e.mergeDetect(d)
 	if d.queried {
-		e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Calls: len(calls)})
+		e.met.detectSecs.Observe(elapsed)
+		e.emitDetectSpan(nfq, shard, t0, elapsed, len(calls))
+		e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(nfq), Shard: shard, Calls: len(calls)})
 	}
 	return calls
+}
+
+// emitDetectSpan records one relevance detection as a telemetry span.
+func (e *engine) emitDetectSpan(nfq *rewrite.NFQ, shard int, start time.Time, wall time.Duration, calls int) {
+	if e.opt.Tracer == nil {
+		return
+	}
+	e.opt.Tracer.Emit(telemetry.Span{
+		Parent: e.spanParent(),
+		Name:   "detect",
+		Shard:  shard,
+		Start:  start,
+		Wall:   wall,
+		Attrs: []telemetry.Attr{
+			{Key: "round", Value: strconv.Itoa(e.round)},
+			{Key: "target", Value: traceTarget(nfq)},
+			{Key: "calls", Value: strconv.Itoa(calls)},
+		},
+	})
 }
 
 // detectMany evaluates the members' relevance queries for the current
@@ -524,9 +654,21 @@ func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Nod
 	if workers > len(members) {
 		workers = len(members)
 	}
+	// Each shard measures its own wall time in the worker (every worker
+	// writes only its own slots); the coordinator merges counters and
+	// emits events and spans after the pool drains, so the stream comes
+	// out ordered by (layer, round, shard) no matter how the workers
+	// interleaved.
+	starts := make([]time.Time, len(members))
+	walls := make([]time.Duration, len(members))
+	runShard := func(i int) {
+		starts[i] = time.Now()
+		calls[i], deltas[i] = e.detect(queries[members[i]], ievs[i])
+		walls[i] = time.Since(starts[i])
+	}
 	if workers <= 1 {
-		for i, m := range members {
-			calls[i], deltas[i] = e.detect(queries[m], ievs[i])
+		for i := range members {
+			runShard(i)
 		}
 	} else {
 		idx := make(chan int)
@@ -536,7 +678,7 @@ func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Nod
 			go func() {
 				defer wg.Done()
 				for i := range idx {
-					calls[i], deltas[i] = e.detect(queries[members[i]], ievs[i])
+					runShard(i)
 				}
 			}()
 		}
@@ -550,7 +692,9 @@ func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Nod
 	for i, d := range deltas {
 		e.mergeDetect(d)
 		if d.queried {
-			e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(queries[members[i]]), Calls: len(calls[i])})
+			e.met.detectSecs.Observe(walls[i])
+			e.emitDetectSpan(queries[members[i]], i, starts[i], walls[i], len(calls[i]))
+			e.emit(TraceEvent{Kind: TraceDetect, Target: traceTarget(queries[members[i]]), Shard: i, Calls: len(calls[i])})
 		}
 	}
 	return calls
@@ -661,22 +805,60 @@ func (e *engine) giveUp(call *tree.Node, path string, meta callMeta) error {
 	return nil
 }
 
+// emitInvokeSpan records one call's full attempt sequence as a span and
+// feeds the invocation histograms.
+func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, start time.Time, wall time.Duration, meta callMeta, pushed bool) {
+	e.met.invokeWall.Observe(wall)
+	e.met.invokeVirt.Observe(meta.cost)
+	if e.opt.Tracer == nil {
+		return
+	}
+	s := telemetry.Span{
+		Parent:  e.spanParent(),
+		Name:    "invoke",
+		Start:   start,
+		Wall:    wall,
+		Virtual: meta.cost,
+		Attrs: []telemetry.Attr{
+			{Key: "round", Value: strconv.Itoa(e.round)},
+			{Key: "service", Value: call.Label},
+			{Key: "path", Value: path},
+		},
+	}
+	if t := traceTarget(nfq); t != "" {
+		s.Attrs = append(s.Attrs, telemetry.Attr{Key: "target", Value: t})
+	}
+	if pushed {
+		s.Attrs = append(s.Attrs, telemetry.Attr{Key: "pushed", Value: "true"})
+	}
+	if meta.attempts > 1 {
+		s.Attrs = append(s.Attrs, telemetry.Attr{Key: "attempts", Value: strconv.Itoa(meta.attempts)})
+	}
+	if meta.err != nil {
+		s.Attrs = append(s.Attrs, telemetry.Attr{Key: "error", Value: meta.err.Error()})
+	}
+	e.opt.Tracer.Emit(s)
+}
+
 // invokeOne invokes a single call (retries included) and charges its full
 // cost sequentially.
 func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
 	path := tracePath(call)
 	pushed := e.pushedQuery(nfq)
+	start := time.Now()
 	resp, meta := e.invokeAttempts(call, pushed)
+	wall := time.Since(start)
 	e.chargeMeta(meta)
 	e.opt.Clock.Advance(meta.cost)
 	e.stats.Rounds++
+	wasPushed := meta.err == nil && pushed != nil && resp.Pushed
+	e.emitInvokeSpan(call, nfq, path, start, wall, meta, wasPushed)
 	if meta.err != nil {
 		return e.giveUp(call, path, meta)
 	}
 	if meta.attempts > 1 {
 		e.emit(TraceEvent{Kind: TraceRetry, Service: call.Label, Path: path, Attempts: meta.attempts})
 	}
-	wasPushed := pushed != nil && resp.Pushed
 	e.apply(call, resp, wasPushed)
 	e.emit(TraceEvent{
 		Kind: TraceInvoke, Target: traceTarget(nfq), Service: call.Label,
@@ -708,6 +890,8 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		resp   service.Response
 		meta   callMeta
 		pushed bool
+		start  time.Time
+		wall   time.Duration
 	}
 	results := make([]result, len(calls))
 	pushes := make([]*pattern.Pattern, len(calls))
@@ -721,8 +905,9 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		wg.Add(1)
 		go func(i int, c *tree.Node) {
 			defer wg.Done()
+			start := time.Now()
 			resp, meta := e.invokeAttempts(c, pushes[i])
-			results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed}
+			results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed, start, time.Since(start)}
 		}(i, c)
 	}
 	wg.Wait()
@@ -734,6 +919,7 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		if r.meta.cost > maxCost {
 			maxCost = r.meta.cost
 		}
+		e.emitInvokeSpan(c, nfqs[i], paths[i], r.start, r.wall, r.meta, r.meta.err == nil && r.pushed)
 		if r.meta.err != nil {
 			if err := e.giveUp(c, paths[i], r.meta); err != nil && firstErr == nil {
 				firstErr = err

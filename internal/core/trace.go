@@ -2,9 +2,12 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"github.com/activexml/axml/internal/rewrite"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -53,6 +56,18 @@ type TraceEvent struct {
 	// Layer is the current influence-layer index (0 when layering is
 	// off).
 	Layer int
+	// Round is the sequential detection/invocation round the event
+	// belongs to (1-based; 0 for events outside any round, e.g.
+	// TraceLayer). Together with Layer and Shard it totally orders the
+	// event stream, including under a parallel detection pool.
+	Round int
+	// Shard identifies the detection shard (the member query's slot in
+	// the current layer) that produced a TraceDetect event. Shards are
+	// evaluated concurrently under Options.Workers > 1, but the
+	// coordinator emits their events merged deterministically by
+	// (Layer, Round, Shard), so equal configurations produce equal
+	// streams.
+	Shard int
 	// Target describes the query node the active relevance query was
 	// generated for (empty for naive invocations).
 	Target string
@@ -105,11 +120,57 @@ func (e TraceEvent) String() string {
 // TraceFunc receives engine events. Set it through Options.Trace.
 type TraceFunc func(TraceEvent)
 
-// emit sends an event to the configured tracer, if any.
+// emit sends an event to the configured tracer, if any, stamping the
+// current layer and round.
 func (e *engine) emit(ev TraceEvent) {
 	if e.opt.Trace != nil {
 		ev.Layer = e.traceLayer
+		ev.Round = e.round
 		e.opt.Trace(ev)
+	}
+}
+
+// BridgeTrace adapts a telemetry tracer into a TraceFunc: every engine
+// event becomes one zero-duration span under parent, named after the
+// event kind and annotated with the event's fields. It is the bridge
+// for consumers that only hold an event stream; engine-native spans
+// (Options.Tracer) additionally carry durations. The engine emits
+// events ordered by (Layer, Round, Shard), so bridged spans inherit
+// that deterministic merge.
+func BridgeTrace(tr *telemetry.Tracer, parent telemetry.SpanID) TraceFunc {
+	return func(ev TraceEvent) {
+		if tr == nil {
+			return
+		}
+		s := telemetry.Span{
+			Parent: parent,
+			Name:   "event." + ev.Kind.String(),
+			Shard:  ev.Shard,
+			Start:  time.Now(),
+			Attrs: []telemetry.Attr{
+				{Key: "layer", Value: strconv.Itoa(ev.Layer)},
+				{Key: "round", Value: strconv.Itoa(ev.Round)},
+			},
+		}
+		if ev.Target != "" {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "target", Value: ev.Target})
+		}
+		if ev.Service != "" {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "service", Value: ev.Service})
+		}
+		if ev.Path != "" {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "path", Value: ev.Path})
+		}
+		if ev.Calls != 0 {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "calls", Value: strconv.Itoa(ev.Calls)})
+		}
+		if ev.Attempts != 0 {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "attempts", Value: strconv.Itoa(ev.Attempts)})
+		}
+		if ev.Err != "" {
+			s.Attrs = append(s.Attrs, telemetry.Attr{Key: "error", Value: ev.Err})
+		}
+		tr.Emit(s)
 	}
 }
 

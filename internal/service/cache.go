@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -84,6 +85,19 @@ type Cache struct {
 	order    []string // insertion order, for FIFO eviction
 	inflight map[string]*flight
 	stats    CacheStats
+	met      cacheMetrics
+}
+
+// cacheMetrics mirrors CacheStats into a telemetry registry, plus a live
+// entry-count gauge. All fields are nil until Instrument is called; nil
+// instruments swallow updates.
+type cacheMetrics struct {
+	hits        *telemetry.Counter
+	misses      *telemetry.Counter
+	coalesced   *telemetry.Counter
+	evictions   *telemetry.Counter
+	expirations *telemetry.Counter
+	entries     *telemetry.Gauge
 }
 
 type cacheEntry struct {
@@ -106,6 +120,27 @@ func NewCache(spec CacheSpec) *Cache {
 	}
 }
 
+// Instrument routes the cache's counters through a telemetry registry in
+// addition to CacheStats: axml_cache_{hits,misses,coalesced,evictions,
+// expirations}_total plus the axml_cache_entries gauge. Call it before
+// the cache serves traffic; a nil registry is a no-op.
+func (c *Cache) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = cacheMetrics{
+		hits:        reg.Counter(telemetry.MetricCacheHits),
+		misses:      reg.Counter(telemetry.MetricCacheMisses),
+		coalesced:   reg.Counter(telemetry.MetricCacheCoalesced),
+		evictions:   reg.Counter(telemetry.MetricCacheEvictions),
+		expirations: reg.Counter(telemetry.MetricCacheExpirations),
+		entries:     reg.Gauge(telemetry.MetricCacheEntries),
+	}
+	c.met.entries.Set(int64(len(c.entries)))
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
@@ -122,6 +157,7 @@ func (c *Cache) Reset() {
 	c.entries = map[string]*cacheEntry{}
 	c.order = nil
 	c.stats = CacheStats{}
+	c.met.entries.Set(0)
 }
 
 // Len returns the number of stored responses.
@@ -208,9 +244,11 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 			if c.spec.TTL > 0 && c.now().Sub(e.storedAt) > c.spec.TTL {
 				c.dropLocked(key)
 				c.stats.Expired++
+				c.met.expirations.Inc()
 			} else {
 				if !coalesced {
 					c.stats.Hits++
+					c.met.hits.Inc()
 				}
 				resp := cloneResponse(e.resp)
 				c.mu.Unlock()
@@ -225,6 +263,7 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 			if !coalesced {
 				coalesced = true
 				c.stats.Coalesced++
+				c.met.coalesced.Inc()
 			}
 			c.mu.Unlock()
 			<-f.done
@@ -237,6 +276,7 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 			continue
 		}
 		c.stats.Misses++
+		c.met.misses.Inc()
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
@@ -267,7 +307,9 @@ func (c *Cache) storeLocked(key string, resp Response) {
 		oldest := c.order[0]
 		c.dropLocked(oldest)
 		c.stats.Evictions++
+		c.met.evictions.Inc()
 	}
+	c.met.entries.Set(int64(len(c.entries)))
 }
 
 // dropLocked removes one key from the table and the FIFO order.
@@ -279,6 +321,7 @@ func (c *Cache) dropLocked(key string) {
 			break
 		}
 	}
+	c.met.entries.Set(int64(len(c.entries)))
 }
 
 // cloneResponse deep-copies the forest so that callers can splice their

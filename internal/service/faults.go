@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -61,9 +62,10 @@ type Faults struct {
 	spec    FaultSpec
 	targets map[string]bool // nil means all services
 
-	mu     sync.Mutex
-	counts map[string]uint64
-	stats  FaultStats
+	mu       sync.Mutex
+	counts   map[string]uint64
+	stats    FaultStats
+	injected *telemetry.Counter // nil until Instrument; nil swallows updates
 }
 
 // NewFaults builds an injector for the spec.
@@ -76,6 +78,18 @@ func NewFaults(spec FaultSpec) *Faults {
 		}
 	}
 	return f
+}
+
+// Instrument counts every injected fault on the registry's
+// axml_faults_injected_total counter, in addition to FaultStats. A nil
+// registry is a no-op.
+func (f *Faults) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.injected = reg.Counter(telemetry.MetricFaultsInjected)
 }
 
 // Stats snapshots the injection counters.
@@ -189,6 +203,7 @@ func (f *Faults) next(name string) (uint64, bool) {
 func (f *Faults) count(c ErrorClass) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.injected.Inc()
 	switch c {
 	case Transient:
 		f.stats.Transient++

@@ -37,11 +37,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -56,6 +58,13 @@ type Server struct {
 	// invocation answers 504 with a timeout-classed fault, so remote
 	// callers can classify and retry it.
 	Deadline time.Duration
+	// Metrics, when set, counts invocations (axml_http_requests_total),
+	// fault answers (axml_http_faults_total) and handler latency
+	// (axml_http_handler_seconds). Nil disables.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records one "http-invoke" span per invocation
+	// with service and status attributes. Nil disables.
+	Tracer *telemetry.Tracer
 }
 
 // NewServer wraps a registry. When sleepLatency is set, each invocation
@@ -94,19 +103,41 @@ func (s *Server) describe(w http.ResponseWriter) {
 }
 
 func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
+	start := time.Now()
+	s.Metrics.Counter(telemetry.MetricHTTPRequests).Inc()
+	status := http.StatusOK
+	fail := func(code int, class service.ErrorClass, msg string) {
+		status = code
+		s.Metrics.Counter(telemetry.MetricHTTPFaults).Inc()
+		writeFault(w, code, class, msg)
+	}
+	defer func() {
+		s.Metrics.Histogram(telemetry.MetricHTTPHandlerSeconds).Observe(time.Since(start))
+		if s.Tracer != nil {
+			s.Tracer.Emit(telemetry.Span{
+				Name:  "http-invoke",
+				Start: start,
+				Wall:  time.Since(start),
+				Attrs: []telemetry.Attr{
+					{Key: "service", Value: name},
+					{Key: "status", Value: strconv.Itoa(status)},
+				},
+			})
+		}
+	}()
 	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
-		writeFault(w, http.StatusBadRequest, service.Transient, "unreadable body: "+err.Error())
+		fail(http.StatusBadRequest, service.Transient, "unreadable body: "+err.Error())
 		return
 	}
 	params, pushed, err := decodeInvoke(body, name)
 	if err != nil {
-		writeFault(w, http.StatusBadRequest, service.Permanent, err.Error())
+		fail(http.StatusBadRequest, service.Permanent, err.Error())
 		return
 	}
 	svc := s.reg.Lookup(name)
 	if svc == nil {
-		writeFault(w, http.StatusNotFound, service.Permanent, fmt.Sprintf("unknown service %q", name))
+		fail(http.StatusNotFound, service.Permanent, fmt.Sprintf("unknown service %q", name))
 		return
 	}
 	// The handler (and its simulated latency) runs under the server's
@@ -135,14 +166,14 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 	select {
 	case res = <-done:
 	case <-expired:
-		writeFault(w, http.StatusGatewayTimeout, service.Timeout,
+		fail(http.StatusGatewayTimeout, service.Timeout,
 			fmt.Sprintf("invocation of %s exceeded the server deadline %v", name, s.Deadline))
 		return
 	case <-r.Context().Done():
 		return
 	}
 	if res.err != nil {
-		writeFault(w, http.StatusInternalServerError, service.ClassOf(res.err), res.err.Error())
+		fail(http.StatusInternalServerError, service.ClassOf(res.err), res.err.Error())
 		return
 	}
 	var sb strings.Builder
@@ -150,7 +181,7 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 	for _, n := range res.resp.Forest {
 		b, err := tree.Marshal(n)
 		if err != nil {
-			writeFault(w, http.StatusInternalServerError, service.Permanent, "marshal: "+err.Error())
+			fail(http.StatusInternalServerError, service.Permanent, "marshal: "+err.Error())
 			return
 		}
 		sb.Write(b)
@@ -273,6 +304,10 @@ type Client struct {
 	// Backoff is the real-time pause before the second attempt,
 	// doubling per further attempt; 0 means DefaultBackoff.
 	Backoff time.Duration
+	// Metrics, when set, observes per-attempt wire latency
+	// (axml_http_client_seconds) and counts retried attempts
+	// (axml_http_client_retries_total). Nil disables.
+	Metrics *telemetry.Registry
 }
 
 // DefaultBackoff is the client's initial retry pause when Backoff is 0.
@@ -319,6 +354,7 @@ func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.
 		if attempt >= attempts || !service.Retryable(err) {
 			return service.Response{}, err
 		}
+		c.Metrics.Counter(telemetry.MetricHTTPClientRetries).Inc()
 		select {
 		case <-ctx.Done():
 			return service.Response{}, err
@@ -333,6 +369,9 @@ func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.
 // from the status code).
 func (c *Client) post(ctx context.Context, url, name string, body []byte) (service.Response, error) {
 	start := time.Now()
+	defer func() {
+		c.Metrics.Histogram(telemetry.MetricHTTPClientSeconds).Observe(time.Since(start))
+	}()
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode struct {
+	Span
+	Children []*SpanNode
+}
+
+// Self returns the span's self wall time: its duration minus its
+// children's (never negative). Because every child interval lies inside
+// its parent, the self times of a tree partition the root's wall time,
+// which is what lets explain profiles assert that per-phase times sum
+// to the total.
+func (n *SpanNode) Self() time.Duration {
+	d := n.Wall
+	for _, c := range n.Children {
+		d -= c.Wall
+	}
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// BuildTree reconstructs the span hierarchy from a flat span list
+// (spans whose parent is missing from the list become roots). Roots and
+// children are ordered by span ID, i.e. start order, so trees render
+// deterministically regardless of finish order.
+func BuildTree(spans []Span) []*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{Span: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*SpanNode) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+// WriteTree renders the spans as an indented explain profile: one line
+// per span with cumulative and self wall time, charged virtual time and
+// attributes, followed by a per-phase summary whose self-time buckets
+// sum (exactly, before rounding) to each root's total.
+func WriteTree(w io.Writer, spans []Span) {
+	roots := BuildTree(spans)
+	for _, root := range roots {
+		writeNode(w, root, 0)
+	}
+	for _, root := range roots {
+		writePhaseSummary(w, root)
+	}
+}
+
+func writeNode(w io.Writer, n *SpanNode, depth int) {
+	var sb strings.Builder
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.Name)
+	if n.Shard > 0 {
+		fmt.Fprintf(&sb, "#%d", n.Shard)
+	}
+	pad := 34 - sb.Len()
+	if pad < 1 {
+		pad = 1
+	}
+	sb.WriteString(strings.Repeat(" ", pad))
+	fmt.Fprintf(&sb, "wall %9s  self %9s", fmtDur(n.Wall), fmtDur(n.Self()))
+	if n.Virtual > 0 {
+		fmt.Fprintf(&sb, "  virt %9s", fmtDur(n.Virtual))
+	}
+	for _, a := range n.Attrs {
+		fmt.Fprintf(&sb, "  %s=%s", a.Key, a.Value)
+	}
+	fmt.Fprintln(w, sb.String())
+	for _, c := range n.Children {
+		writeNode(w, c, depth+1)
+	}
+}
+
+// writePhaseSummary buckets the tree's self times by span name and
+// prints the arithmetic identity sum(phases) = total.
+func writePhaseSummary(w io.Writer, root *SpanNode) {
+	phases := map[string]time.Duration{}
+	var order []string
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		if _, seen := phases[n.Name]; !seen {
+			order = append(order, n.Name)
+		}
+		phases[n.Name] += n.Self()
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	var parts []string
+	var sum time.Duration
+	for _, name := range order {
+		parts = append(parts, fmt.Sprintf("%s %s", name, fmtDur(phases[name])))
+		sum += phases[name]
+	}
+	fmt.Fprintf(w, "phases: %s = %s (total %s)\n",
+		strings.Join(parts, " + "), fmtDur(sum), fmtDur(root.Wall))
+}
+
+// fmtDur renders durations with stable millisecond precision so explain
+// columns align and phase sums round consistently.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// spansFixture is a hand-built evaluate → layer → detect/invoke profile.
+func spansFixture() []Span {
+	now := time.Now()
+	return []Span{
+		{ID: 1, Name: "evaluate", Start: now, Wall: 10 * time.Millisecond,
+			Attrs: []Attr{{Key: "calls_invoked", Value: "2"}, {Key: "calls_pruned", Value: "7"}}},
+		{ID: 2, Parent: 1, Name: "layer", Start: now, Wall: 8 * time.Millisecond},
+		{ID: 3, Parent: 2, Name: "detect", Start: now, Wall: 3 * time.Millisecond},
+		{ID: 4, Parent: 2, Name: "detect", Shard: 1, Start: now, Wall: 2 * time.Millisecond},
+		{ID: 5, Parent: 2, Name: "invoke", Start: now, Wall: 1 * time.Millisecond,
+			Virtual: 20 * time.Millisecond},
+	}
+}
+
+func TestBuildTreeAndSelf(t *testing.T) {
+	roots := BuildTree(spansFixture())
+	if len(roots) != 1 || roots[0].Name != "evaluate" {
+		t.Fatalf("roots: %+v", roots)
+	}
+	eval := roots[0]
+	if got := eval.Self(); got != 2*time.Millisecond {
+		t.Fatalf("evaluate self = %v, want 2ms", got)
+	}
+	layer := eval.Children[0]
+	if got := layer.Self(); got != 2*time.Millisecond {
+		t.Fatalf("layer self = %v, want 2ms", got)
+	}
+	// The self times partition the root's wall time.
+	var sum time.Duration
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		sum += n.Self()
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(eval)
+	if sum != eval.Wall {
+		t.Fatalf("self times sum to %v, root wall is %v", sum, eval.Wall)
+	}
+}
+
+// TestBuildTreeOrphans: spans whose parent is missing become roots
+// instead of vanishing.
+func TestBuildTreeOrphans(t *testing.T) {
+	roots := BuildTree([]Span{
+		{ID: 5, Parent: 99, Name: "orphan", Wall: time.Millisecond},
+		{ID: 2, Name: "root", Wall: time.Millisecond},
+	})
+	if len(roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(roots))
+	}
+	if roots[0].Name != "root" || roots[1].Name != "orphan" {
+		t.Fatalf("root order: %s, %s", roots[0].Name, roots[1].Name)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	var sb strings.Builder
+	WriteTree(&sb, spansFixture())
+	out := sb.String()
+	for _, want := range []string{
+		"evaluate",
+		"calls_invoked=2",
+		"calls_pruned=7",
+		"detect#1", // shard marker
+		"virt",
+		"phases: evaluate 2.000ms + layer 2.000ms + detect 5.000ms + invoke 1.000ms = 10.000ms (total 10.000ms)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain output misses %q:\n%s", want, out)
+		}
+	}
+	// Indentation shows the hierarchy.
+	if !strings.Contains(out, "\n  layer") || !strings.Contains(out, "\n    detect") {
+		t.Errorf("tree not indented:\n%s", out)
+	}
+}

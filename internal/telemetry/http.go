@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Mount attaches the live introspection endpoints to a mux:
+//
+//	GET /metrics            Prometheus text exposition of reg
+//	GET /debug/trace?last=N recent finished spans as a JSON array
+//	GET /debug/pprof/...    net/http/pprof profiles
+//
+// reg and tr may be nil; the endpoints then answer with empty bodies
+// rather than 404, so dashboards can be wired before telemetry is.
+func Mount(mux *http.ServeMux, reg *Registry, tr *Tracer) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		last := 100
+		if v := r.URL.Query().Get("last"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				http.Error(w, "bad last parameter", http.StatusBadRequest)
+				return
+			}
+			last = n
+		}
+		body, err := MarshalSpansJSON(tr.Spans(last))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone introspection handler (axmlquery
+// -serve-debug uses it; axmlserver mounts the same endpoints next to
+// its service endpoints).
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, reg, tr)
+	return mux
+}

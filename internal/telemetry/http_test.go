@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(MetricHTTPRequests).Add(5)
+	tr := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr.Emit(Span{Name: "http-invoke", Start: time.Now(), Wall: time.Millisecond})
+	}
+	srv := httptest.NewServer(Handler(reg, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "axml_http_requests_total 5") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+
+	code, body = get("/debug/trace?last=2")
+	if code != 200 {
+		t.Fatalf("/debug/trace: %d", code)
+	}
+	var spans []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0].Name != "http-invoke" {
+		t.Fatalf("/debug/trace spans: %+v", spans)
+	}
+
+	if code, _ := get("/debug/trace?last=nope"); code != 400 {
+		t.Fatalf("bad last parameter answered %d, want 400", code)
+	}
+
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+// TestHandlerNilBackends: endpoints answer empty rather than 404 when
+// telemetry is not wired yet.
+func TestHandlerNilBackends(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/trace"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonSpan is the JSONL wire form of a Span. Durations travel as
+// microseconds, attributes as an object (their emission order is not
+// preserved across a round trip; DecodeJSONL restores them sorted by
+// key).
+type jsonSpan struct {
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent,omitempty"`
+	Name   string            `json:"name"`
+	Shard  int               `json:"shard,omitempty"`
+	Start  time.Time         `json:"start"`
+	WallUS int64             `json:"wall_us"`
+	VirtUS int64             `json:"virt_us,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+func toJSONSpan(s Span) jsonSpan {
+	js := jsonSpan{
+		ID:     uint64(s.ID),
+		Parent: uint64(s.Parent),
+		Name:   s.Name,
+		Shard:  s.Shard,
+		Start:  s.Start,
+		WallUS: s.Wall.Microseconds(),
+		VirtUS: s.Virtual.Microseconds(),
+	}
+	if len(s.Attrs) > 0 {
+		js.Attrs = make(map[string]string, len(s.Attrs))
+		for _, a := range s.Attrs {
+			js.Attrs[a.Key] = a.Value
+		}
+	}
+	return js
+}
+
+func fromJSONSpan(js jsonSpan) Span {
+	s := Span{
+		ID:      SpanID(js.ID),
+		Parent:  SpanID(js.Parent),
+		Name:    js.Name,
+		Shard:   js.Shard,
+		Start:   js.Start,
+		Wall:    time.Duration(js.WallUS) * time.Microsecond,
+		Virtual: time.Duration(js.VirtUS) * time.Microsecond,
+	}
+	if len(js.Attrs) > 0 {
+		keys := make([]string, 0, len(js.Attrs))
+		for k := range js.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		s.Attrs = make([]Attr, 0, len(keys))
+		for _, k := range keys {
+			s.Attrs = append(s.Attrs, Attr{Key: k, Value: js.Attrs[k]})
+		}
+	}
+	return s
+}
+
+// EncodeJSONL writes the spans as one JSON object per line.
+func EncodeJSONL(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(toJSONSpan(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeJSONL parses a JSONL span stream (blank lines are skipped).
+func DecodeJSONL(r io.Reader) ([]Span, error) {
+	var out []Span
+	dec := json.NewDecoder(r)
+	for {
+		var js jsonSpan
+		if err := dec.Decode(&js); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("telemetry: bad span line %d: %w", len(out)+1, err)
+		}
+		out = append(out, fromJSONSpan(js))
+	}
+}
+
+// SinkJSONL adapts an io.Writer into a tracer sink that streams each
+// finished span as one JSON line. Write errors are dropped — a failing
+// trace sink must never fail the evaluation it observes.
+func SinkJSONL(w io.Writer) func(Span) {
+	enc := json.NewEncoder(w)
+	return func(s Span) {
+		_ = enc.Encode(toJSONSpan(s))
+	}
+}
+
+// MarshalSpansJSON renders spans as a single JSON array (the
+// /debug/trace response body).
+func MarshalSpansJSON(spans []Span) ([]byte, error) {
+	out := make([]jsonSpan, len(spans))
+	for i, s := range spans {
+		out[i] = toJSONSpan(s)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

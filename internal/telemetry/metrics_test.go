@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+// TestNilSafety: a nil registry and nil instruments must swallow every
+// operation — this is the disabled-telemetry fast path.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	r.Histogram("h").Observe(time.Second)
+	if r.Counter("c") != nil || r.Gauge("g") != nil || r.Histogram("h") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if c := r.Counter("c"); c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry exposition not empty: %q", sb.String())
+	}
+}
+
+// TestBucketBoundaries pins the log-scale bucketing at its exact edges:
+// zero and negative durations, sub-microsecond, exact powers of two, the
+// values just past them, and the overflow bucket.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Nanosecond, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1},     // 1µs: first non-zero bucket
+		{2 * time.Microsecond, 2}, // exact power: starts the next bucket
+		{3 * time.Microsecond, 2}, // [2µs, 4µs)
+		{4 * time.Microsecond, 3}, // exact power again
+		{1024 * time.Microsecond, 11},
+		{1 << 62, HistBuckets - 1}, // overflow clamps to the last bucket
+	}
+	for _, c := range cases {
+		if got := BucketOf(c.d); got != c.want {
+			t.Errorf("BucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// BucketBound is the exclusive upper edge: a duration equal to the
+	// bound of bucket i lands in bucket i+1.
+	for i := 1; i < HistBuckets-1; i++ {
+		if got := BucketOf(BucketBound(i) - time.Microsecond); got != i {
+			t.Fatalf("bucket %d: upper-bound-1µs landed in %d", i, got)
+		}
+		if i < HistBuckets-2 {
+			if got := BucketOf(BucketBound(i)); got != i+1 {
+				t.Fatalf("bucket %d: its bound %v landed in %d, want %d", i, BucketBound(i), got, i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if q := h.snapshot().Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", q)
+	}
+	// 90 fast observations and 10 slow ones: p50 sits in the fast
+	// bucket, p99 in the slow one, and the top is reported as Max.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := s.Quantile(0.50); got != 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want the 4µs bucket bound", got)
+	}
+	if got := s.Quantile(0.99); got != s.Max {
+		t.Fatalf("p99 = %v, want max %v", got, s.Max)
+	}
+	if s.Max != 3*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if got := s.Quantile(1); got != s.Max {
+		t.Fatalf("p100 = %v, want max", got)
+	}
+	// A zero observation lands in bucket 0 and reports 0.
+	var hz Histogram
+	hz.Observe(0)
+	if got := hz.snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("zero-only quantile = %v", got)
+	}
+	// Observations past the largest finite bucket report Max, not a
+	// bucket bound.
+	var ho Histogram
+	ho.Observe(1 << 62)
+	if got := ho.snapshot().Quantile(0.5); got != ho.snapshot().Max {
+		t.Fatalf("overflow quantile = %v, want max", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.snapshot().Count; got != 8000 {
+		t.Fatalf("count = %d, want 8000", got)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricCallsInvoked).Add(17)
+	r.Gauge(MetricCacheEntries).Set(3)
+	r.Histogram(MetricDetectSeconds).Observe(100 * time.Microsecond)
+	r.Histogram(MetricDetectSeconds).Observe(3 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE axml_calls_invoked_total counter",
+		"axml_calls_invoked_total 17",
+		"# TYPE axml_cache_entries gauge",
+		"axml_cache_entries 3",
+		"# TYPE axml_detect_seconds histogram",
+		`axml_detect_seconds_bucket{le="+Inf"} 2`,
+		"axml_detect_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition misses %q:\n%s", want, out)
+		}
+	}
+}

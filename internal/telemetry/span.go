@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a Tracer. IDs are assigned in start
+// order and never reused; 0 means "no span" (the root has Parent 0).
+type SpanID uint64
+
+// Attr is one key/value annotation on a span. Attributes are stored as
+// an ordered slice — emission order is meaningful for rendering — and
+// serialised as a JSON object.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one finished node of an evaluation's trace tree. The engine
+// emits evaluate → layer → round → detect/invoke hierarchies; the soap
+// transport emits request/handler spans.
+type Span struct {
+	// ID is the span's identity within its tracer.
+	ID SpanID
+	// Parent is the enclosing span, or 0 for roots.
+	Parent SpanID
+	// Name is the span kind, e.g. "evaluate", "layer", "detect",
+	// "invoke".
+	Name string
+	// Shard identifies which detection shard produced the span when the
+	// engine runs a parallel detection pool (Options.Workers); 0
+	// otherwise.
+	Shard int
+	// Start is the wall-clock start time.
+	Start time.Time
+	// Wall is the measured wall-clock duration.
+	Wall time.Duration
+	// Virtual is the simulated (virtual-clock) duration charged during
+	// the span, when the instrumented operation charges one.
+	Virtual time.Duration
+	// Attrs annotate the span (service names, call counts, errors…).
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute, or "".
+func (s Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// DefaultSpanCapacity bounds the tracer ring buffer when NewTracer is
+// given a non-positive capacity.
+const DefaultSpanCapacity = 4096
+
+// Tracer collects finished spans into a bounded in-memory ring buffer
+// and optionally streams them to a JSONL sink. It is safe for
+// concurrent use: parallel detection shards and batch invocations emit
+// through the same tracer. A nil *Tracer is a valid no-op: Start
+// returns a nil *ActiveSpan whose methods do nothing, so disabled
+// tracing costs one pointer test per instrumentation point.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []Span
+	next  int // next write position
+	count int // total spans ever recorded
+	sink  func(Span)
+}
+
+// NewTracer returns a tracer retaining the last capacity finished spans
+// (DefaultSpanCapacity when capacity ≤ 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{ring: make([]Span, 0, capacity)}
+}
+
+// SetSink streams every subsequently finished span to fn, in finish
+// order, under the tracer's lock (fn must be fast and must not call
+// back into the tracer). SinkJSONL adapts an io.Writer.
+func (t *Tracer) SetSink(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+// Start opens a span under the given parent (0 for a root). The
+// returned ActiveSpan is owned by one goroutine until End.
+func (t *Tracer) Start(name string, parent SpanID) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{t: t, s: Span{
+		ID:     SpanID(t.nextID.Add(1)),
+		Parent: parent,
+		Name:   name,
+		Start:  time.Now(),
+	}}
+}
+
+// Emit records a pre-built span, assigning an ID when the span carries
+// none. It is the low-level entry used by bridges that measure spans
+// themselves (e.g. the engine's parallel detection pool, which measures
+// per-shard durations in workers and emits deterministically from the
+// coordinator).
+func (t *Tracer) Emit(s Span) SpanID {
+	if t == nil {
+		return 0
+	}
+	if s.ID == 0 {
+		s.ID = SpanID(t.nextID.Add(1))
+	}
+	t.record(s)
+	return s.ID
+}
+
+// record appends a finished span to the ring and the sink.
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.count++
+	sink := t.sink
+	if sink != nil {
+		sink(s)
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the total number of spans recorded (including ones the
+// ring has since dropped).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Spans returns up to the last n retained spans in record order
+// (oldest first); n ≤ 0 means every retained span.
+func (t *Tracer) Spans(n int) []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if len(t.ring) < cap(t.ring) {
+		out = append(out, t.ring...)
+	} else {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// ActiveSpan is a span being measured. All methods are nil-safe so
+// instrumented code can unconditionally call through a possibly-nil
+// tracer.
+type ActiveSpan struct {
+	t *Tracer
+	s Span
+}
+
+// ID returns the span's identity (0 for a nil span), for parenting
+// children.
+func (a *ActiveSpan) ID() SpanID {
+	if a == nil {
+		return 0
+	}
+	return a.s.ID
+}
+
+// SetAttr annotates the span.
+func (a *ActiveSpan) SetAttr(key, value string) {
+	if a == nil {
+		return
+	}
+	a.s.Attrs = append(a.s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value.
+func (a *ActiveSpan) SetInt(key string, v int64) {
+	if a == nil {
+		return
+	}
+	a.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetShard stamps the detection shard identity.
+func (a *ActiveSpan) SetShard(shard int) {
+	if a == nil {
+		return
+	}
+	a.s.Shard = shard
+}
+
+// AddVirtual charges simulated time to the span.
+func (a *ActiveSpan) AddVirtual(d time.Duration) {
+	if a == nil {
+		return
+	}
+	a.s.Virtual += d
+}
+
+// End measures the wall duration and records the span. It must be
+// called exactly once; further calls are ignored.
+func (a *ActiveSpan) End() {
+	if a == nil || a.t == nil {
+		return
+	}
+	a.s.Wall = time.Since(a.s.Start)
+	a.t.record(a.s)
+	a.t = nil
+}
