@@ -27,10 +27,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
 
 # bench records the perf trajectory: the root benchmark suite plus the
-# E10 incremental-evaluation sweep written to BENCH_E10.json.
+# E10 incremental-evaluation and E11 invocation-pool sweeps written to
+# BENCH_E10.json / BENCH_E11.json.
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
+	$(GO) run ./cmd/axmlbench -exp E11 -json BENCH_E11.json
 
 microbench:
 	$(GO) test -bench . -benchmem ./internal/pattern/

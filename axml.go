@@ -288,6 +288,14 @@ func RecursivePush(reg *Registry, maxCalls int) *Registry {
 	return soap.RecursivePush(reg, maxCalls)
 }
 
+// RecursivePushWorkers is RecursivePush with the provider-side
+// materialisation invoking up to workers embedded calls concurrently per
+// fixpoint round; the materialised forest is identical for every pool
+// width (`axmlserver -invoke-workers`).
+func RecursivePushWorkers(reg *Registry, maxCalls, workers int) *Registry {
+	return soap.RecursivePushWorkers(reg, maxCalls, workers)
+}
+
 // Activation policies (see internal/activation).
 type (
 	// ActivationController applies per-service activation policies

@@ -7,14 +7,18 @@
 //	          [-strategy lazy-nfq-typed] [-schema schema.txt] [-provider http://host:port] \
 //	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml] \
 //	          [-retries 3] [-timeout 2s] [-best-effort] \
-//	          [-no-cache] [-cache-ttl 5m] [-workers 4] [-no-incremental]
+//	          [-no-cache] [-cache-ttl 5m] [-workers 4] [-invoke-workers 4] [-no-incremental]
 //
 // Performance (see doc/PERF.md): service responses are memoised by
 // (service, parameters, pushed query) with in-flight deduplication —
 // -no-cache disables this, -cache-ttl bounds how long a response stays
-// servable. Relevance re-evaluation reuses a persistent match memo across
-// rounds (-no-incremental falls back to from-scratch evaluation), and
-// -workers N evaluates a round's relevance queries on N goroutines.
+// servable (entries age on the evaluation's clock, so TTLs lapse on
+// virtual time in simulated runs). Relevance re-evaluation reuses a
+// persistent match memo across rounds (-no-incremental falls back to
+// from-scratch evaluation), -workers N evaluates a round's relevance
+// queries on N goroutines, and -invoke-workers N invokes up to N of a
+// round's independent relevant calls concurrently (implies -parallel;
+// results are identical to sequential invocation).
 //
 // Fault tolerance (see doc/FAULTS.md): -retries enables engine-side
 // retries of transient and timeout faults with exponential backoff,
@@ -83,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noCache    = fs.Bool("no-cache", false, "disable service-response memoisation")
 		cacheTTL   = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
 		workers    = fs.Int("workers", 0, "evaluate each round's relevance queries on this many goroutines (0/1 = sequential)")
+		invokeWork = fs.Int("invoke-workers", 0, "invoke up to this many independent calls of a round concurrently (implies -parallel; 0 = unbounded batches under -parallel, 1 = sequential)")
 		noIncr     = fs.Bool("no-incremental", false, "re-evaluate relevance queries from scratch each round")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "print the evaluation's span tree (detect/invoke timings, pruned vs invoked) to stderr")
@@ -125,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opt := core.Options{
 		Strategy: st, Push: *push, Layering: *layer, Parallel: *parallel,
 		UseGuide: *guide, RelaxJoins: *relax, MaxCalls: *maxCalls,
-		Incremental: !*noIncr, Workers: *workers,
+		Incremental: !*noIncr, Workers: *workers, InvokeWorkers: *invokeWork,
 	}
 	if *retries > 0 || *timeout > 0 {
 		opt.Retry = core.RetryPolicy{
@@ -194,10 +199,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt.Clock = service.NewWallClock(false)
 	} else {
 		reg = workload.Hotels(workload.DefaultSpec()).Registry
+		// Local runs charge latencies to a virtual clock. Make it
+		// explicit (rather than letting the engine default one) so the
+		// response cache below can age its entries on the same timeline.
+		opt.Clock = &service.SimClock{}
 	}
 	var cache *service.Cache
 	if !*noCache {
-		cache = service.NewCache(service.CacheSpec{TTL: *cacheTTL})
+		cache = service.NewCache(service.CacheSpec{TTL: *cacheTTL, Now: service.ClockNow(opt.Clock)})
 		cache.Instrument(metrics)
 		reg = cache.Wrap(reg)
 	}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	axmlserver [-addr :8080] [-hotels 40] [-latency 10ms] [-push] [-sleep]
-//	           [-deadline 0] [-recursive] [-dump-doc doc.axml]
+//	           [-deadline 0] [-recursive] [-invoke-workers 4] [-dump-doc doc.axml]
 //
 // Endpoints:
 //
@@ -47,16 +47,17 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("axmlserver", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr      = fs.String("addr", ":8080", "listen address")
-		hotels    = fs.Int("hotels", 40, "extensional hotels in the demo world")
-		latency   = fs.Duration("latency", 10*time.Millisecond, "advertised per-call latency")
-		push      = fs.Bool("push", true, "advertise query pushing on extensional services")
-		sleep     = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
-		deadline  = fs.Duration("deadline", 0, "per-invocation server deadline (0 = unbounded); expired calls answer 504 with a timeout-classed fault")
-		recursive = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
-		cached    = fs.Bool("cache", true, "memoise service responses server-side (counters on /metrics)")
-		cacheTTL  = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
-		dump      = fs.String("dump-doc", "", "write the demo client document to this file and exit")
+		addr       = fs.String("addr", ":8080", "listen address")
+		hotels     = fs.Int("hotels", 40, "extensional hotels in the demo world")
+		latency    = fs.Duration("latency", 10*time.Millisecond, "advertised per-call latency")
+		push       = fs.Bool("push", true, "advertise query pushing on extensional services")
+		sleep      = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
+		deadline   = fs.Duration("deadline", 0, "per-invocation server deadline (0 = unbounded); expired calls answer 504 with a timeout-classed fault")
+		recursive  = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
+		invokeWork = fs.Int("invoke-workers", 0, "resolve a recursive materialisation round's embedded calls on this many concurrent workers (0/1 = sequential)")
+		cached     = fs.Bool("cache", true, "memoise service responses server-side (counters on /metrics)")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
+		dump       = fs.String("dump-doc", "", "write the demo client document to this file and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -70,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	w := workload.Hotels(spec)
 	reg := w.Registry
 	if *recursive {
-		reg = soap.RecursivePush(reg, 1_000_000)
+		reg = soap.RecursivePushWorkers(reg, 1_000_000, *invokeWork)
 	}
 	metrics := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)

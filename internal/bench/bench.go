@@ -1,6 +1,6 @@
 // Package bench implements the experiment harness that regenerates the
 // evaluation of "Lazy Query Evaluation for Active XML" (SIGMOD 2004).
-// Each experiment E1…E9 (see DESIGN.md for the index and EXPERIMENTS.md
+// Each experiment E1…E11 (see DESIGN.md for the index and EXPERIMENTS.md
 // for recorded outcomes) sweeps one dimension and prints the series the
 // paper's figures report: who wins, by what factor, and where behaviour
 // crosses over.
@@ -103,6 +103,12 @@ type Scale struct {
 	// evaluation sweep; they mirror E1Sizes so the incremental win is
 	// reported on the same documents as the headline strategy sweep.
 	E10Sizes []int
+	// E11Sizes are the document sizes of the invocation-pool sweep
+	// (the E8 HTTP configuration re-run across pool widths).
+	E11Sizes []int
+	// E11Workers are the InvokeWorkers pool widths of the sweep; the
+	// first entry is the speedup baseline (1 = in-batch sequential).
+	E11Workers []int
 	// Metrics, when set, is threaded through every evaluation an
 	// experiment runs, accumulating detect/invoke latency histograms
 	// (cmd/axmlbench -json reports their quantiles). Nil disables.
@@ -125,6 +131,8 @@ func Quick() Scale {
 		E8Sizes:         []int{8},
 		E9Rates:         []float64{0, 0.2},
 		E10Sizes:        []int{10, 40},
+		E11Sizes:        []int{8},
+		E11Workers:      []int{1, 4},
 	}
 }
 
@@ -142,6 +150,8 @@ func Full() Scale {
 		E8Sizes:         []int{5, 15, 50},
 		E9Rates:         []float64{0, 0.1, 0.2, 0.4},
 		E10Sizes:        []int{10, 50, 100, 200, 500, 1000},
+		E11Sizes:        []int{16, 48},
+		E11Workers:      []int{1, 2, 4, 8},
 	}
 }
 
@@ -165,6 +175,7 @@ func All() []Experiment {
 		{"E8", "end-to-end over real HTTP services", E8},
 		{"E9", "lazy vs naive under injected faults with retries", E9},
 		{"E10", "incremental evaluation and response caching cut re-evaluation work", E10},
+		{"E11", "the bounded invocation pool cuts HTTP wall time by the layer width", E11},
 	}
 }
 

@@ -120,6 +120,20 @@ type Options struct {
 	// NodesVisited counters grow even though wall-clock detection time
 	// shrinks; the invoked call sequence is unchanged.
 	Workers int
+	// InvokeWorkers bounds the invocation pool: how many members of a
+	// parallel batch (the independent relevant calls one detection round
+	// yields, Section 4.4) are in flight concurrently. Values > 1 imply
+	// Parallel. Batch members are assigned to workers deterministically
+	// (member i runs on worker i mod InvokeWorkers) and responses are
+	// applied to the document in document order after the pool drains,
+	// so results, Stats and traces are identical for every pool width —
+	// only wall-clock time changes, by ≈ min(InvokeWorkers, batch width)
+	// over real transports. 1 runs batch members sequentially on the
+	// calling goroutine; 0 preserves the historical unbounded behaviour
+	// (one goroutine per batch member). Virtual-clock accounting is
+	// unaffected: a batch is always charged the max, not the sum, of its
+	// members' costs.
+	InvokeWorkers int
 	// RelaxJoins uses the join-free relaxed NFQs of Section 6.1.
 	RelaxJoins bool
 	// MaxCalls bounds the number of invocations (the paper's termination

@@ -78,9 +78,9 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 		// detection pool.
 		e.opt.Layering, e.opt.Parallel, e.opt.Push = false, false, false
 		e.opt.Speculative = false
-		e.opt.Workers = 0
+		e.opt.Workers, e.opt.InvokeWorkers = 0, 0
 	}
-	if e.opt.Speculative {
+	if e.opt.Speculative || e.opt.InvokeWorkers > 1 {
 		e.opt.Parallel = true
 	}
 	if e.opt.Clock == nil {
@@ -806,8 +806,9 @@ func (e *engine) giveUp(call *tree.Node, path string, meta callMeta) error {
 }
 
 // emitInvokeSpan records one call's full attempt sequence as a span and
-// feeds the invocation histograms.
-func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, start time.Time, wall time.Duration, meta callMeta, pushed bool) {
+// feeds the invocation histograms. worker is the invocation-pool worker
+// the attempt sequence ran on (0 outside a batch).
+func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, worker int, start time.Time, wall time.Duration, meta callMeta, pushed bool) {
 	e.met.invokeWall.Observe(wall)
 	e.met.invokeVirt.Observe(meta.cost)
 	if e.opt.Tracer == nil {
@@ -816,6 +817,7 @@ func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, 
 	s := telemetry.Span{
 		Parent:  e.spanParent(),
 		Name:    "invoke",
+		Worker:  worker,
 		Start:   start,
 		Wall:    wall,
 		Virtual: meta.cost,
@@ -852,7 +854,7 @@ func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
 	e.opt.Clock.Advance(meta.cost)
 	e.stats.Rounds++
 	wasPushed := meta.err == nil && pushed != nil && resp.Pushed
-	e.emitInvokeSpan(call, nfq, path, start, wall, meta, wasPushed)
+	e.emitInvokeSpan(call, nfq, path, 0, start, wall, meta, wasPushed)
 	if meta.err != nil {
 		return e.giveUp(call, path, meta)
 	}
@@ -900,17 +902,41 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		pushes[i] = e.pushedQuery(nfqs[i])
 		paths[i] = tracePath(c)
 	}
-	var wg sync.WaitGroup
-	for i, c := range calls {
-		wg.Add(1)
-		go func(i int, c *tree.Node) {
-			defer wg.Done()
-			start := time.Now()
-			resp, meta := e.invokeAttempts(c, pushes[i])
-			results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed, start, time.Since(start)}
-		}(i, c)
+	// Bounded invocation pool: member i runs on worker i mod W, so the
+	// member→worker assignment — and the Worker stamped onto each invoke
+	// span — is deterministic for a given batch regardless of goroutine
+	// scheduling. Each worker walks its own stripe sequentially and writes
+	// only its members' slots; the coordinator below applies responses in
+	// member (document) order after the pool drains, so results, traces
+	// and virtual-clock stats are identical for every pool width. W <= 0
+	// keeps the historical one-goroutine-per-member behaviour; W == 1
+	// degenerates to a sequential walk on the calling goroutine.
+	workers := e.opt.InvokeWorkers
+	if workers <= 0 || workers > len(calls) {
+		workers = len(calls)
 	}
-	wg.Wait()
+	runMember := func(i int) {
+		start := time.Now()
+		resp, meta := e.invokeAttempts(calls[i], pushes[i])
+		results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed, start, time.Since(start)}
+	}
+	if workers == 1 {
+		for i := range calls {
+			runMember(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(calls); i += workers {
+					runMember(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 	var maxCost time.Duration
 	var firstErr error
 	for i, c := range calls {
@@ -919,7 +945,7 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		if r.meta.cost > maxCost {
 			maxCost = r.meta.cost
 		}
-		e.emitInvokeSpan(c, nfqs[i], paths[i], r.start, r.wall, r.meta, r.meta.err == nil && r.pushed)
+		e.emitInvokeSpan(c, nfqs[i], paths[i], i%workers, r.start, r.wall, r.meta, r.meta.err == nil && r.pushed)
 		if r.meta.err != nil {
 			if err := e.giveUp(c, paths[i], r.meta); err != nil && firstErr == nil {
 				firstErr = err

@@ -149,6 +149,31 @@ func TestCacheTTLExpiry(t *testing.T) {
 	}
 }
 
+// TestCacheTTLExpiryOnVirtualClock wires the engine's clock into the
+// cache the way axmlquery does (CacheSpec.Now = ClockNow(clock)): TTLs
+// then lapse as simulated rounds accumulate, with no wall time passing.
+func TestCacheTTLExpiryOnVirtualClock(t *testing.T) {
+	clock := &SimClock{}
+	base, calls := cacheWorld(0)
+	c := NewCache(CacheSpec{TTL: time.Minute, Now: ClockNow(clock)})
+	reg := c.Wrap(base)
+
+	reg.Invoke("GetTemp", paris(), nil)
+	clock.Advance(30 * time.Second)
+	reg.Invoke("GetTemp", paris(), nil) // still fresh on the virtual timeline
+	if *calls != 1 {
+		t.Fatalf("fresh entry re-fetched: %d handler calls", *calls)
+	}
+	clock.Advance(31 * time.Second) // 61 virtual seconds past storage
+	reg.Invoke("GetTemp", paris(), nil)
+	if *calls != 2 {
+		t.Fatalf("entry did not expire on the virtual clock: %d handler calls, want 2", *calls)
+	}
+	if st := c.Stats(); st.Expired != 1 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want expired=1 misses=2 hits=1", st)
+	}
+}
+
 func TestCacheFIFOEviction(t *testing.T) {
 	base, calls := cacheWorld(0)
 	c := NewCache(CacheSpec{MaxEntries: 2})
@@ -461,5 +486,56 @@ func TestCacheConcurrentMixedKeys(t *testing.T) {
 	wg.Wait()
 	if c.Len() > 2 {
 		t.Fatalf("MaxEntries violated: %d entries", c.Len())
+	}
+}
+
+// TestCacheFaultsConcurrent hammers the engine's production layering —
+// cache.Wrap(faults.Wrap(base)) — from many goroutines with retries, the
+// load shape a bounded invocation pool produces. Under -race this proves
+// the singleflight dedup and the deterministic injector share no unsynced
+// state; semantically, every goroutine must eventually succeed (the
+// injector faults periodically, so one retry loop outlasts it) and
+// failures must never be cached.
+func TestCacheFaultsConcurrent(t *testing.T) {
+	var handlerCalls atomic.Int64
+	base := NewRegistry()
+	base.Register(&Service{
+		Name: "GetTemp",
+		Handler: func(params []*tree.Node) ([]*tree.Node, error) {
+			handlerCalls.Add(1)
+			return []*tree.Node{tree.NewText(params[0].Text())}, nil
+		},
+	})
+	faults := NewFaults(FaultSpec{Seed: 7, ErrorRate: 0.3})
+	c := NewCache(CacheSpec{})
+	reg := c.Wrap(faults.Wrap(base))
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				city := fmt.Sprintf("city-%d", (g*i)%5)
+				var err error
+				for attempt := 0; attempt < 25; attempt++ {
+					if _, err = reg.Invoke("GetTemp", []*tree.Node{tree.NewText(city)}, nil); err == nil {
+						break
+					}
+					if !Retryable(err) {
+						t.Errorf("injected fault lost its retryable class: %v", err)
+						return
+					}
+				}
+				if err != nil {
+					t.Errorf("no success within 25 attempts: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 5 {
+		t.Fatalf("cache holds %d entries, want at most the 5 distinct keys", c.Len())
 	}
 }

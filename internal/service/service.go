@@ -74,6 +74,17 @@ func (c *WallClock) Advance(d time.Duration) {
 // Elapsed implements Clock.
 func (c *WallClock) Elapsed() time.Duration { return time.Since(c.start) }
 
+// ClockNow adapts a Clock into the time source a CacheSpec expects, so
+// cache TTLs age on the same (possibly virtual) timeline the engine
+// charges invocation latencies to: under a SimClock, entries expire as
+// simulated rounds accumulate, without any wall time passing. The
+// returned instants are a fixed epoch plus the clock's elapsed time —
+// only their differences are meaningful, which is all TTL aging reads.
+func ClockNow(c Clock) func() time.Time {
+	epoch := time.Now()
+	return func() time.Time { return epoch.Add(c.Elapsed()) }
+}
+
 // Handler computes a service's full result forest from its parameter
 // forest. Implementations must be safe for concurrent use and must return
 // detached trees (no parents, zero IDs); the params are owned by the

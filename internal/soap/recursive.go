@@ -2,6 +2,7 @@ package soap
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/service"
@@ -22,8 +23,20 @@ import (
 // materialisation, mirroring the engine's own termination budget.
 //
 // The returned registry contains a wrapper for every service of reg;
-// wrapped services advertise CanPush.
+// wrapped services advertise CanPush. Materialisation resolves embedded
+// calls sequentially; RecursivePushWorkers bounds a concurrent pool.
 func RecursivePush(reg *service.Registry, maxCalls int) *service.Registry {
+	return RecursivePushWorkers(reg, maxCalls, 1)
+}
+
+// RecursivePushWorkers is RecursivePush with the provider-side
+// materialisation fixpoint invoking up to workers embedded calls of each
+// round concurrently (values below 2 mean sequential). Responses are
+// spliced in document order after each round, so the materialised forest
+// — and therefore the binding tuples returned to the peer — is identical
+// for every pool width; handlers are required to be concurrent-safe
+// (see service.Handler).
+func RecursivePushWorkers(reg *service.Registry, maxCalls, workers int) *service.Registry {
 	out := service.NewRegistry()
 	for _, name := range reg.Names() {
 		svc := reg.Lookup(name)
@@ -40,7 +53,7 @@ func RecursivePush(reg *service.Registry, maxCalls int) *service.Registry {
 			if pushed == nil {
 				return resp, nil
 			}
-			forest, err := materialise(reg, resp.Forest, maxCalls)
+			forest, err := materialise(reg, resp.Forest, maxCalls, workers)
 			if err != nil {
 				return service.Response{}, err
 			}
@@ -71,8 +84,13 @@ func RecursivePush(reg *service.Registry, maxCalls int) *service.Registry {
 }
 
 // materialise resolves every call embedded in the forest, recursively, by
-// invoking the registry — the provider-side fixpoint.
-func materialise(reg *service.Registry, forest []*tree.Node, maxCalls int) ([]*tree.Node, error) {
+// invoking the registry — the provider-side fixpoint. Each round's calls
+// are invoked on a pool of up to workers goroutines (striped like the
+// engine's invocation pool: call i runs on worker i mod width) and the
+// responses spliced sequentially in document order, so the result does
+// not depend on the pool width. Only invocations run concurrently; all
+// document mutation stays on the calling goroutine.
+func materialise(reg *service.Registry, forest []*tree.Node, maxCalls, workers int) ([]*tree.Node, error) {
 	root := tree.NewElement("materialise")
 	for _, n := range forest {
 		root.Append(n)
@@ -84,16 +102,45 @@ func materialise(reg *service.Registry, forest []*tree.Node, maxCalls int) ([]*t
 		if len(calls) == 0 {
 			break
 		}
-		for _, c := range calls {
-			if invoked >= maxCalls {
-				return nil, fmt.Errorf("soap: recursive push exceeded %d call budget", maxCalls)
+		if invoked+len(calls) > maxCalls {
+			return nil, fmt.Errorf("soap: recursive push exceeded %d call budget", maxCalls)
+		}
+		invoked += len(calls)
+		type result struct {
+			resp service.Response
+			err  error
+		}
+		results := make([]result, len(calls))
+		runOne := func(i int) {
+			resp, err := reg.Invoke(calls[i].Label, cloneForest(calls[i].Children), nil)
+			results[i] = result{resp, err}
+		}
+		width := workers
+		if width > len(calls) {
+			width = len(calls)
+		}
+		if width <= 1 {
+			for i := range calls {
+				runOne(i)
 			}
-			invoked++
-			resp, err := reg.Invoke(c.Label, cloneForest(c.Children), nil)
-			if err != nil {
-				return nil, err
+		} else {
+			var wg sync.WaitGroup
+			for w := 0; w < width; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(calls); i += width {
+						runOne(i)
+					}
+				}(w)
 			}
-			doc.ReplaceCall(c, resp.Forest)
+			wg.Wait()
+		}
+		for i, c := range calls {
+			if results[i].err != nil {
+				return nil, results[i].err
+			}
+			doc.ReplaceCall(c, results[i].resp.Forest)
 		}
 	}
 	out := append([]*tree.Node(nil), root.Children...)

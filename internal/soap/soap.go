@@ -65,6 +65,30 @@ type Server struct {
 	// Tracer, when set, records one "http-invoke" span per invocation
 	// with service and status attributes. Nil disables.
 	Tracer *telemetry.Tracer
+	// MaxPayloadBytes bounds one request body; 0 means
+	// DefaultMaxPayloadBytes. An oversized request is rejected with an
+	// explicit 413 permanent-classed "payload too large" fault rather
+	// than silently truncated into a confusing parse error.
+	MaxPayloadBytes int64
+}
+
+// DefaultMaxPayloadBytes is the payload bound applied symmetrically by
+// Server (request bodies) and Client (response bodies) when their
+// MaxPayloadBytes is 0.
+const DefaultMaxPayloadBytes = 64 << 20
+
+// readLimited reads at most limit bytes from r and reports whether the
+// stream held more (it reads one byte past the limit to distinguish
+// "exactly limit" from "over").
+func readLimited(r io.Reader, limit int64) (data []byte, over bool, err error) {
+	data, err = io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if int64(len(data)) > limit {
+		return nil, true, nil
+	}
+	return data, false, nil
 }
 
 // NewServer wraps a registry. When sleepLatency is set, each invocation
@@ -125,9 +149,18 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 			})
 		}
 	}()
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	limit := s.MaxPayloadBytes
+	if limit <= 0 {
+		limit = DefaultMaxPayloadBytes
+	}
+	body, over, err := readLimited(r.Body, limit)
 	if err != nil {
 		fail(http.StatusBadRequest, service.Transient, "unreadable body: "+err.Error())
+		return
+	}
+	if over {
+		fail(http.StatusRequestEntityTooLarge, service.Permanent,
+			fmt.Sprintf("payload too large: request body exceeds %d bytes", limit))
 		return
 	}
 	params, pushed, err := decodeInvoke(body, name)
@@ -308,16 +341,42 @@ type Client struct {
 	// (axml_http_client_seconds) and counts retried attempts
 	// (axml_http_client_retries_total). Nil disables.
 	Metrics *telemetry.Registry
+	// MaxPayloadBytes bounds one response body; 0 means
+	// DefaultMaxPayloadBytes (symmetric with the server's request
+	// bound). An oversized response surfaces as a permanent-classed
+	// "payload too large" fault instead of a truncated-XML parse error.
+	MaxPayloadBytes int64
 }
 
 // DefaultBackoff is the client's initial retry pause when Backoff is 0.
 const DefaultBackoff = 50 * time.Millisecond
 
+// sharedHTTPClient is the transport clients fall back to when
+// HTTPClient is unset. http.DefaultClient's transport keeps only 2 idle
+// connections per host, so a bounded invocation pool hammering one
+// provider would open (and TIME_WAIT-churn) a fresh TCP connection for
+// most requests; raising MaxIdleConnsPerHost lets every pool worker
+// reuse a warm connection. All soap.Clients share the one transport —
+// connection pools are per-transport, and one per process is the
+// useful granularity.
+var sharedHTTPClient = newSharedHTTPClient()
+
+func newSharedHTTPClient() *http.Client {
+	t, ok := http.DefaultTransport.(*http.Transport)
+	if !ok {
+		return &http.Client{}
+	}
+	t = t.Clone()
+	t.MaxIdleConns = 256
+	t.MaxIdleConnsPerHost = 64
+	return &http.Client{Transport: t}
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return sharedHTTPClient
 }
 
 // Invoke calls the named remote service. The returned response reports
@@ -394,11 +453,21 @@ func (c *Client) post(ctx context.Context, url, name string, body []byte) (servi
 		}
 	}
 	defer httpResp.Body.Close()
-	payload, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	limit := c.MaxPayloadBytes
+	if limit <= 0 {
+		limit = DefaultMaxPayloadBytes
+	}
+	payload, over, err := readLimited(httpResp.Body, limit)
 	if err != nil {
 		return service.Response{}, &service.Fault{
 			Service: name, Class: service.Transient, Latency: time.Since(start),
 			Msg: "read response", Err: err,
+		}
+	}
+	if over {
+		return service.Response{}, &service.Fault{
+			Service: name, Class: service.Permanent, Latency: time.Since(start),
+			Msg: fmt.Sprintf("payload too large: response body exceeds %d bytes", limit),
 		}
 	}
 	if httpResp.StatusCode != http.StatusOK {

@@ -11,12 +11,14 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
 	"github.com/activexml/axml/internal/tree"
 )
@@ -30,14 +32,23 @@ const Extension = ".axml"
 type Store struct {
 	dir string
 	mu  sync.RWMutex
+	// Sync makes Put durable: the temp file is fsynced before the
+	// rename and the directory after it, so a crash right after Put
+	// returns cannot surface the old content, a zero-length file, or a
+	// missing entry. Open sets it; turn it off only for throwaway
+	// repositories (tests, caches) where write latency matters more
+	// than crash safety — atomicity (temp file + rename) holds either
+	// way.
+	Sync bool
 }
 
 // Open prepares a repository at dir, creating the directory if needed.
+// The returned store syncs writes to stable storage (see Store.Sync).
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, Sync: true}, nil
 }
 
 // Dir returns the repository root.
@@ -88,6 +99,17 @@ func (s *Store) Put(name string, doc *tree.Document) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: put %s: %w", name, err)
 	}
+	// Rename alone only orders the directory entry, not the data: after
+	// a crash the new name can point at an empty or partial file. Fsync
+	// the data before it becomes reachable, and the directory after, so
+	// the rename itself is on stable storage.
+	if s.Sync {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+			return fmt.Errorf("store: put %s: %w", name, err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: put %s: %w", name, err)
@@ -95,6 +117,26 @@ func (s *Store) Put(name string, doc *tree.Document) error {
 	if err := os.Rename(tmpName, s.path(name)); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	if s.Sync {
+		if err := syncDir(s.dir); err != nil {
+			return fmt.Errorf("store: put %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash.
+// Platforms whose directories reject fsync (it is optional in POSIX)
+// degrade to the pre-sync behaviour rather than failing the write.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }

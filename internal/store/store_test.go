@@ -45,6 +45,43 @@ func TestPutGetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPutSyncDefaultsAndToggle: Open returns a durable store (Sync on),
+// and Put round-trips with fsync both enabled and disabled — the sync
+// path must not change what lands on disk, only when it is durable.
+func TestPutSyncDefaultsAndToggle(t *testing.T) {
+	s := open(t)
+	if !s.Sync {
+		t.Fatal("Open must default to durable (synced) writes")
+	}
+	doc := sampleDoc(t)
+	if err := s.Put("synced", doc); err != nil {
+		t.Fatal(err)
+	}
+	s.Sync = false
+	if err := s.Put("unsynced", doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"synced", "unsynced"} {
+		back, err := s.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !doc.Root.Equal(back.Root) {
+			t.Fatalf("%s: round trip mismatch", name)
+		}
+	}
+	// No temp files may survive either path.
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
 func TestOverwriteIsAtomicReplace(t *testing.T) {
 	s := open(t)
 	if err := s.Put("d", sampleDoc(t)); err != nil {

@@ -80,6 +80,9 @@ func writeNode(w io.Writer, n *SpanNode, depth int) {
 	if n.Shard > 0 {
 		fmt.Fprintf(&sb, "#%d", n.Shard)
 	}
+	if n.Worker > 0 {
+		fmt.Fprintf(&sb, "@w%d", n.Worker)
+	}
 	pad := 34 - sb.Len()
 	if pad < 1 {
 		pad = 1

@@ -15,7 +15,7 @@ func spansFixture() []Span {
 		{ID: 2, Parent: 1, Name: "layer", Start: now, Wall: 8 * time.Millisecond},
 		{ID: 3, Parent: 2, Name: "detect", Start: now, Wall: 3 * time.Millisecond},
 		{ID: 4, Parent: 2, Name: "detect", Shard: 1, Start: now, Wall: 2 * time.Millisecond},
-		{ID: 5, Parent: 2, Name: "invoke", Start: now, Wall: 1 * time.Millisecond,
+		{ID: 5, Parent: 2, Name: "invoke", Worker: 1, Start: now, Wall: 1 * time.Millisecond,
 			Virtual: 20 * time.Millisecond},
 	}
 }
@@ -71,7 +71,8 @@ func TestWriteTree(t *testing.T) {
 		"evaluate",
 		"calls_invoked=2",
 		"calls_pruned=7",
-		"detect#1", // shard marker
+		"detect#1",  // shard marker
+		"invoke@w1", // invocation-pool worker marker
 		"virt",
 		"phases: evaluate 2.000ms + layer 2.000ms + detect 5.000ms + invoke 1.000ms = 10.000ms (total 10.000ms)",
 	} {

@@ -18,6 +18,7 @@ type jsonSpan struct {
 	Parent uint64            `json:"parent,omitempty"`
 	Name   string            `json:"name"`
 	Shard  int               `json:"shard,omitempty"`
+	Worker int               `json:"worker,omitempty"`
 	Start  time.Time         `json:"start"`
 	WallUS int64             `json:"wall_us"`
 	VirtUS int64             `json:"virt_us,omitempty"`
@@ -30,6 +31,7 @@ func toJSONSpan(s Span) jsonSpan {
 		Parent: uint64(s.Parent),
 		Name:   s.Name,
 		Shard:  s.Shard,
+		Worker: s.Worker,
 		Start:  s.Start,
 		WallUS: s.Wall.Microseconds(),
 		VirtUS: s.Virtual.Microseconds(),
@@ -49,6 +51,7 @@ func fromJSONSpan(js jsonSpan) Span {
 		Parent:  SpanID(js.Parent),
 		Name:    js.Name,
 		Shard:   js.Shard,
+		Worker:  js.Worker,
 		Start:   js.Start,
 		Wall:    time.Duration(js.WallUS) * time.Microsecond,
 		Virtual: time.Duration(js.VirtUS) * time.Microsecond,

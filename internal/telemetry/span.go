@@ -34,6 +34,12 @@ type Span struct {
 	// engine runs a parallel detection pool (Options.Workers); 0
 	// otherwise.
 	Shard int
+	// Worker identifies which invocation-pool worker ran the span when
+	// the engine invokes a batch on a bounded pool
+	// (Options.InvokeWorkers); 0 otherwise. The member→worker assignment
+	// is deterministic (batch member i runs on worker i mod pool width),
+	// so traces compare stably across runs.
+	Worker int
 	// Start is the wall-clock start time.
 	Start time.Time
 	// Wall is the measured wall-clock duration.

@@ -110,6 +110,15 @@ func TestJSONLRoundTrip(t *testing.T) {
 		Virtual: time.Millisecond,
 		Attrs:   []Attr{{Key: "calls", Value: "2"}, {Key: "round", Value: "1"}},
 	})
+	tr.Emit(Span{
+		Parent:  layer.ID(),
+		Name:    "invoke",
+		Worker:  2,
+		Start:   time.Now(),
+		Wall:    100 * time.Microsecond,
+		Virtual: 2 * time.Millisecond,
+		Attrs:   []Attr{{Key: "service", Value: "getRating"}},
+	})
 	layer.End()
 	eval.AddVirtual(5 * time.Millisecond)
 	eval.End()
@@ -158,7 +167,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if wantTree != gotTree {
 		t.Fatalf("tree shape changed:\n got %s\nwant %s", gotTree, wantTree)
 	}
-	if !strings.Contains(wantTree, "evaluate(layer(detect))") {
+	if !strings.Contains(wantTree, "evaluate(layer(detect,invoke))") {
 		t.Fatalf("unexpected tree shape %s", wantTree)
 	}
 }
