@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: check build vet test race fuzz bench telemetry profile
+.PHONY: check build vet test race fuzz bench telemetry profile loadsmoke
 
-check: vet build telemetry race fuzz
+check: vet build telemetry race fuzz loadsmoke
 
 build:
 	$(GO) build ./...
@@ -26,13 +26,20 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
 
-# bench records the perf trajectory: the root benchmark suite plus the
-# E10 incremental-evaluation and E11 invocation-pool sweeps written to
-# BENCH_E10.json / BENCH_E11.json.
+# bench records the perf trajectory: the root benchmark suite, the E10
+# incremental-evaluation and E11 invocation-pool sweeps, and the E12
+# multi-tenant serving run, written to BENCH_E{10,11,12}.json.
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
 	$(GO) run ./cmd/axmlbench -exp E11 -json BENCH_E11.json
+	$(GO) run ./cmd/axmlload -self -clients 500 -requests 5000 -json BENCH_E12.json
+
+# loadsmoke replays a small oracle-verified mixed workload through an
+# in-process session server — the serving-layer gate in `make check`.
+# (No -json: the recorded BENCH_E12.json is the full `make bench` run.)
+loadsmoke:
+	$(GO) run ./cmd/axmlload -self -clients 8 -requests 160
 
 microbench:
 	$(GO) test -bench . -benchmem ./internal/pattern/

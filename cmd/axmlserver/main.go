@@ -1,49 +1,73 @@
-// Command axmlserver serves an AXML service provider over HTTP: the demo
-// hotels services behind the XML envelope of the soap package. Pair it
-// with axmlquery -provider, or with the examples/distributed program.
+// Command axmlserver serves AXML over HTTP two ways at once: as a SOAP
+// service provider (the demo hotels services behind the soap package's
+// XML envelope, for axmlquery -provider and examples/distributed) and as
+// a multi-tenant query service — a repository of named documents from
+// the mixed workload suite, evaluated lazily in place by concurrent
+// client sessions that share relevance memos, a response cache and a
+// bounded invocation pool, with admission control and load shedding
+// (doc/SERVER.md).
 //
 // Usage:
 //
 //	axmlserver [-addr :8080] [-hotels 40] [-latency 10ms] [-push] [-sleep]
 //	           [-deadline 0] [-recursive] [-invoke-workers 4] [-dump-doc doc.axml]
+//	           [-max-active 0] [-max-queued 0] [-retry-after 500ms]
+//	           [-invoke-limit 16] [-drain-timeout 10s] [-isolated] [-docs dir]
 //
 // Endpoints:
 //
+//	POST /query               run a query in a session (JSON; 429+Retry-After
+//	                          under overload, 503 while draining)
+//	GET  /documents           resident document names
+//	GET  /tenants             per-tenant accounting
+//	GET  /stats               session-manager snapshot
 //	GET  /services            service descriptor (WSDL-lite)
 //	POST /services/<name>     invoke a service
-//	GET  /metrics             Prometheus text exposition (request latency
-//	                          histograms, fault and cache counters)
-//	GET  /debug/trace?last=N  recent invocation spans as JSON
+//	GET  /metrics             Prometheus text exposition (sessions, cache,
+//	                          request latency histograms, fault counters)
+//	GET  /debug/trace?last=N  recent spans as JSON
 //	GET  /debug/pprof/...     net/http/pprof profiles
 //
 // With -recursive the provider materialises its own intensional results
 // before honouring pushed queries (the peer deployment of the paper's
 // Section 7), so every service advertises push capability.
+//
+// On SIGINT/SIGTERM the server drains: active sessions run to
+// completion (bounded by -drain-timeout), queued and new ones are shed
+// with 503, and with -docs the materialised masters are persisted for
+// the next start.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"github.com/activexml/axml/internal/core"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/session"
 	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/store"
 	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
 }
 
 // run starts the server. When ready is non-nil it receives the bound
 // address once listening, which tests use to connect to a :0 listener.
-func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+// Closing stop triggers the same graceful drain as SIGINT/SIGTERM.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("axmlserver", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -58,6 +82,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		cached     = fs.Bool("cache", true, "memoise service responses server-side (counters on /metrics)")
 		cacheTTL   = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
 		dump       = fs.String("dump-doc", "", "write the demo client document to this file and exit")
+
+		maxActive    = fs.Int("max-active", 0, "concurrently executing sessions (0 = GOMAXPROCS)")
+		maxQueued    = fs.Int("max-queued", 0, "admission wait-queue budget before shedding (0 = 4x max-active, negative = no queue)")
+		retryAfter   = fs.Duration("retry-after", 500*time.Millisecond, "backoff hint on shed (429) responses")
+		invokeLimit  = fs.Int("invoke-limit", 16, "session invocations in flight across all tenants (0 = unbounded)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for active sessions")
+		isolated     = fs.Bool("isolated", false, "evaluate every session on a private document clone (no shared materialisation)")
+		docsDir      = fs.String("docs", "", "persist materialised documents to this directory across restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +127,54 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 0
 	}
 
+	// The session stack runs next to the SOAP provider with its own
+	// response cache: the provider cache keys recursive/push responses,
+	// which would cross-contaminate plain session invocations.
+	suiteReg, scenarios := workload.Suite(spec)
+	qcache := service.NewCache(service.CacheSpec{TTL: *cacheTTL})
+	qcache.Instrument(metrics)
+	sessionReg := qcache.Wrap(session.LimitRegistry(suiteReg, *invokeLimit, metrics))
+
+	var st *store.Store
+	if *docsDir != "" {
+		var err error
+		if st, err = store.Open(*docsDir); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+	}
+	clock := func() service.Clock { return &service.SimClock{} }
+	if *sleep {
+		clock = func() service.Clock { return service.NewWallClock(true) }
+	}
+	mgr := session.NewManager(session.Config{
+		Registry:   sessionReg,
+		Store:      st,
+		Metrics:    metrics,
+		Tracer:     tracer,
+		Engine:     core.Options{Strategy: core.LazyNFQ, Incremental: true},
+		MaxActive:  *maxActive,
+		MaxQueued:  *maxQueued,
+		RetryAfter: *retryAfter,
+		Isolated:   *isolated,
+		Clock:      clock,
+	})
+	for _, sc := range scenarios {
+		doc := sc.Doc
+		if st != nil && st.Exists(sc.Name) {
+			persisted, err := st.Get(sc.Name)
+			if err != nil {
+				fmt.Fprintf(stderr, "axmlserver: restore %s: %v\n", sc.Name, err)
+				return 1
+			}
+			doc = persisted
+		}
+		if err := mgr.AddDocument(sc.Name, doc, sc.Schema); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
@@ -102,21 +182,55 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 	fmt.Fprintf(stdout, "axmlserver: serving %d services on %s (push=%t, sleep=%t, recursive=%t)\n",
 		len(reg.Names()), ln.Addr(), *push, *sleep, *recursive)
+	fmt.Fprintf(stdout, "  sessions:   POST http://%s/query over %d documents (max-active=%d, isolated=%t)\n",
+		ln.Addr(), len(scenarios), mgr.Stats().Documents, *isolated)
 	fmt.Fprintf(stdout, "  descriptor: GET http://%s/services\n", ln.Addr())
 	fmt.Fprintf(stdout, "  telemetry:  GET http://%s/metrics, /debug/trace, /debug/pprof\n", ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	srv := soap.NewServer(reg, *sleep)
-	srv.Deadline = *deadline
-	srv.Metrics = metrics
-	srv.Tracer = tracer
+	provider := soap.NewServer(reg, *sleep)
+	provider.Deadline = *deadline
+	provider.Metrics = metrics
+	provider.Tracer = tracer
 	mux := http.NewServeMux()
 	telemetry.Mount(mux, metrics, tracer)
-	mux.Handle("/", srv)
-	if err := http.Serve(ln, mux); err != nil {
+	session.Mount(mux, mgr)
+	mux.Handle("/", provider)
+
+	srv := &http.Server{Handler: mux}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-served:
+		// Serve only returns on listener failure (Shutdown is the other
+		// path, reached below).
 		fmt.Fprintf(stderr, "axmlserver: %v\n", err)
 		return 1
+	case <-sig:
+	case <-stop:
 	}
-	return 0
+
+	// Graceful drain: refuse queued and new sessions (503), let active
+	// ones finish, then close idle connections and persist the masters.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := mgr.Drain(ctx); err != nil {
+		fmt.Fprintf(stderr, "axmlserver: drain: %v\n", err)
+		code = 1
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "axmlserver: shutdown: %v\n", err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Fprintf(stdout, "axmlserver: drained and stopped\n")
+	}
+	return code
 }

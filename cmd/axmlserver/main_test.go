@@ -22,7 +22,7 @@ import (
 func TestDumpDoc(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "doc.axml")
 	var out, errOut strings.Builder
-	code := run([]string{"-dump-doc", path, "-hotels", "5"}, &out, &errOut, nil)
+	code := run([]string{"-dump-doc", path, "-hotels", "5"}, &out, &errOut, nil, nil)
 	if code != 0 {
 		t.Fatalf("exit %d: %s", code, errOut.String())
 	}
@@ -41,7 +41,7 @@ func TestDumpDoc(t *testing.T) {
 
 func TestDumpDocBadPath(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-dump-doc", "/nonexistent-dir/x.axml"}, &out, &errOut, nil); code != 1 {
+	if code := run([]string{"-dump-doc", "/nonexistent-dir/x.axml"}, &out, &errOut, nil, nil); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
 	}
 }
@@ -49,7 +49,7 @@ func TestDumpDocBadPath(t *testing.T) {
 func TestServeAndQuery(t *testing.T) {
 	ready := make(chan string, 1)
 	var out, errOut strings.Builder
-	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10", "-recursive"}, &out, &errOut, ready)
+	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10", "-recursive"}, &out, &errOut, ready, nil)
 	var addr string
 	select {
 	case addr = <-ready:
@@ -94,7 +94,7 @@ func TestServeAndQuery(t *testing.T) {
 func TestMetricsEndpoint(t *testing.T) {
 	ready := make(chan string, 1)
 	var out, errOut strings.Builder
-	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10"}, &out, &errOut, ready)
+	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10"}, &out, &errOut, ready, nil)
 	var addr string
 	select {
 	case addr = <-ready:
@@ -175,7 +175,182 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestBadAddr(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-addr", "999.999.999.999:-1"}, &out, &errOut, nil); code != 1 {
+	if code := run([]string{"-addr", "999.999.999.999:-1"}, &out, &errOut, nil, nil); code != 1 {
 		t.Fatalf("exit %d, want 1", code)
+	}
+}
+
+const travelQuery = `/hotels/hotel[name="Best Western"][rating="*****"]/nearby//restaurant[rating="*****"][name=$X][address=$Y] -> $X, $Y`
+
+func postSessionQuery(t *testing.T, addr string, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post("http://"+addr+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// TestSessionEndpoint exercises the multi-tenant layer end to end: a
+// query over HTTP, a memoised repeat, the document listing, and the
+// session metrics on /metrics.
+func TestSessionEndpoint(t *testing.T) {
+	ready := make(chan string, 1)
+	var out, errOut strings.Builder
+	go run([]string{"-addr", "127.0.0.1:0", "-hotels", "10"}, &out, &errOut, ready, nil)
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not start: %s", errOut.String())
+	}
+
+	body := `{"tenant":"t1","document":"travel","query":` + strconv.Quote(travelQuery) + `}`
+	resp, payload := postSessionQuery(t, addr, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, payload)
+	}
+	var qr struct {
+		Bindings     []map[string]string `json:"bindings"`
+		Complete     bool                `json:"complete"`
+		Memo         bool                `json:"memo"`
+		CallsInvoked int                 `json:"callsInvoked"`
+	}
+	if err := json.Unmarshal([]byte(payload), &qr); err != nil {
+		t.Fatalf("%v\n%s", err, payload)
+	}
+	if !qr.Complete || len(qr.Bindings) == 0 || qr.CallsInvoked == 0 {
+		t.Fatalf("unexpected first answer: %s", payload)
+	}
+
+	resp, payload = postSessionQuery(t, addr, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, payload)
+	}
+	if err := json.Unmarshal([]byte(payload), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Memo || qr.CallsInvoked != 0 {
+		t.Fatalf("repeat query not memoised: %s", payload)
+	}
+
+	docsResp, err := http.Get("http://" + addr + "/documents")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer docsResp.Body.Close()
+	var docs []string
+	if err := json.NewDecoder(docsResp.Body).Decode(&docs); err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 4 {
+		t.Fatalf("documents = %v, want the 4 suite scenarios", docs)
+	}
+
+	mResp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mResp.Body.Close()
+	prom, err := io.ReadAll(mResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"axml_sessions_total 2", "axml_session_seconds_count 2"} {
+		if !strings.Contains(string(prom), metric) {
+			t.Fatalf("metric %q missing from /metrics:\n%s", metric, prom)
+		}
+	}
+}
+
+// TestGracefulShutdownDrainsInFlight is the shutdown fix's regression
+// test: a query admitted before the stop signal runs to completion and
+// answers 200 while the server drains, and the process exits cleanly.
+// -sleep makes the session's virtual latency real wall time, so the
+// query is reliably in flight when the drain starts.
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	var out, errOut strings.Builder
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-hotels", "5", "-latency", "100ms", "-sleep",
+			"-drain-timeout", "30s"}, &out, &errOut, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not start: %s", errOut.String())
+	}
+
+	type answer struct {
+		status int
+		body   string
+	}
+	done := make(chan answer, 1)
+	go func() {
+		body := `{"document":"travel","query":` + strconv.Quote(travelQuery) + `}`
+		resp, payload := postSessionQuery(t, addr, body)
+		done <- answer{resp.StatusCode, payload}
+	}()
+
+	// Wait until the query is admitted (active session visible), then
+	// pull the plug while it is still sleeping through its rounds.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st struct {
+			Active int64 `json:"Active"`
+		}
+		r, err := http.Get("http://" + addr + "/stats")
+		if err == nil {
+			err = json.NewDecoder(r.Body).Decode(&st)
+			r.Body.Close()
+		}
+		if err == nil && st.Active >= 1 {
+			break
+		}
+		select {
+		case a := <-done:
+			t.Fatalf("query finished before the server was stopped (status %d) — fixture too fast: %s", a.status, a.body)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("query never became active")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+
+	a := <-done
+	if a.status != http.StatusOK {
+		t.Fatalf("in-flight query during shutdown: status %d, want 200\n%s", a.status, a.body)
+	}
+	var qr struct {
+		Complete bool                `json:"complete"`
+		Bindings []map[string]string `json:"bindings"`
+	}
+	if err := json.Unmarshal([]byte(a.body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Complete || len(qr.Bindings) == 0 {
+		t.Fatalf("in-flight query returned a degraded answer: %s", a.body)
+	}
+
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit code %d: %s", code, errOut.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not exit after drain: %s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "drained and stopped") {
+		t.Fatalf("missing drain confirmation in output:\n%s", out.String())
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/telemetry"
+	"github.com/activexml/axml/internal/tree"
 )
 
 // Strategy selects the call-invocation policy.
@@ -166,6 +167,16 @@ type Options struct {
 	// deterministic order. Nil disables span collection at the cost of
 	// one pointer test per instrumentation point.
 	Tracer *telemetry.Tracer
+	// OnMutate, when set, is called synchronously after every document
+	// mutation the engine performs (a call subtree rooted at removed,
+	// detached from parent, replaced by the response forest) — the same
+	// notification the engine's own incremental evaluator shards receive.
+	// External holders of pattern.IncrementalEvaluator memos over the
+	// same document (the session layer's shared per-query evaluators)
+	// use it to Invalidate in lockstep, keeping their memos sound across
+	// engine runs. The callback runs on the engine goroutine and must
+	// not re-enter the engine.
+	OnMutate func(parent, removed *tree.Node)
 	// Metrics, when set, receives the engine's counters and log-scale
 	// latency histograms (metric names in doc/OBSERVABILITY.md:
 	// axml_evaluations_total, axml_detect_seconds, …). Instruments are

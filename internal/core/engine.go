@@ -982,6 +982,9 @@ func (e *engine) apply(call *tree.Node, resp service.Response, wasPushed bool) {
 	for _, iev := range e.incr {
 		iev.Invalidate(parent, call)
 	}
+	if e.opt.OnMutate != nil {
+		e.opt.OnMutate(parent, call)
+	}
 	for _, n := range inserted {
 		if e.guide != nil {
 			e.guide.AddSubtree(n)

@@ -489,3 +489,50 @@ func TestCompletenessInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestOnMutateObservesEveryReplacement checks the Options.OnMutate hook:
+// it fires once per successful invocation, with the removed call node and
+// its pre-splice parent — enough for an external IncrementalEvaluator to
+// Invalidate in lockstep with the engine's own shards.
+func TestOnMutateObservesEveryReplacement(t *testing.T) {
+	w := workload.Hotels(workload.DefaultSpec())
+	doc := w.Doc.Clone()
+	type mut struct{ parent, removed *tree.Node }
+	var muts []mut
+	out, err := Evaluate(doc, w.Query, w.Registry, Options{
+		Strategy: LazyNFQ,
+		OnMutate: func(parent, removed *tree.Node) {
+			muts = append(muts, mut{parent, removed})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != out.Stats.CallsInvoked {
+		t.Fatalf("OnMutate fired %d times, want one per invocation (%d)", len(muts), out.Stats.CallsInvoked)
+	}
+	for i, m := range muts {
+		if m.removed == nil || m.removed.Kind != tree.Call {
+			t.Fatalf("mutation %d: removed node is not a call", i)
+		}
+		if m.parent == nil {
+			t.Fatalf("mutation %d: nil parent", i)
+		}
+	}
+	// The hook sees mutations on the document being evaluated: keeping an
+	// external incremental evaluator in sync must reproduce Eval exactly.
+	ie := pattern.NewIncremental(w.Query)
+	doc2 := w.Doc.Clone()
+	ie.EvalIncremental(doc2)
+	out2, err := Evaluate(doc2, w.Query, w.Registry, Options{
+		Strategy: LazyNFQ,
+		OnMutate: func(parent, removed *tree.Node) { ie.Invalidate(parent, removed) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ie.EvalIncremental(doc2)
+	if len(got) != len(out2.Results) {
+		t.Fatalf("external incremental evaluator: %d results, engine %d", len(got), len(out2.Results))
+	}
+}

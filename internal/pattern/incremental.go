@@ -70,6 +70,28 @@ func (ie *IncrementalEvaluator) MatchedCallsIncremental(doc *tree.Document, out 
 	return collectCalls(rs, out), st
 }
 
+// EvalIncremental is the incremental counterpart of Eval: it computes the
+// pattern's snapshot result over doc, reusing every memoised match that
+// the mutations reported through Invalidate cannot have changed. On an
+// unchanged document a repeat evaluation is pure memo hits; after a
+// mutation it recomputes O(spine + inserted region) matches. Stats cover
+// this call only, like MatchedCallsIncremental.
+//
+// The session layer uses one shared evaluator per (document, query) pair
+// to answer repeat queries across tenants without re-walking the whole
+// document; core.Evaluate remains the from-scratch oracle with identical
+// results.
+func (ie *IncrementalEvaluator) EvalIncremental(doc *tree.Document) ([]Result, Stats) {
+	sols := ie.ev.matchChildren(ie.q.Root(), rootScope{doc: doc})
+	rs := ie.ev.finish(sols)
+	st := Stats{
+		NodesVisited: ie.ev.visited - ie.lastVisited,
+		MemoHits:     ie.ev.hits - ie.lastHits,
+	}
+	ie.lastVisited, ie.lastHits = ie.ev.visited, ie.ev.hits
+	return rs, st
+}
+
 // Invalidate reports one document mutation: the subtree rooted at removed
 // was detached from parent and an arbitrary forest spliced in its place
 // (tree.Document.ReplaceCall). It evicts the memo entries for the removed

@@ -161,6 +161,79 @@ func TestIncrementalDifferential(t *testing.T) {
 	}
 }
 
+// TestEvalIncrementalDifferential replays random replacement sequences
+// and checks after every mutation that EvalIncremental returns the same
+// result multiset as a from-scratch Eval — the contract the session
+// layer's shared per-query evaluators rely on for their memo fast path.
+func TestEvalIncrementalDifferential(t *testing.T) {
+	var totalHits int
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		doc := randCallDoc(rng)
+
+		queries := []string{
+			`/site/category/label!`,
+			`/site//item[price=$P]/name!`,
+			`/site/category[label=$L]//name!`,
+		}
+		type tracked struct {
+			q  *Pattern
+			ie *IncrementalEvaluator
+		}
+		qs := make([]tracked, len(queries))
+		for i, src := range queries {
+			q := MustParse(src)
+			qs[i] = tracked{q: q, ie: NewIncremental(q)}
+		}
+
+		check := func(round int) {
+			for i, tr := range qs {
+				want, _ := Eval(doc, tr.q)
+				got, gotSt := tr.ie.EvalIncremental(doc)
+				wk := make([]string, len(want))
+				for j, r := range want {
+					wk[j] = r.Key()
+				}
+				gk := make([]string, len(got))
+				for j, r := range got {
+					gk[j] = r.Key()
+				}
+				sort.Strings(wk)
+				sort.Strings(gk)
+				if len(wk) != len(gk) {
+					t.Fatalf("seed %d round %d query %q: incremental %d results, from-scratch %d",
+						seed, round, queries[i], len(gk), len(wk))
+				}
+				for j := range wk {
+					if wk[j] != gk[j] {
+						t.Fatalf("seed %d round %d query %q: result %d differs:\nincremental %s\nscratch     %s",
+							seed, round, queries[i], j, gk[j], wk[j])
+					}
+				}
+				totalHits += gotSt.MemoHits
+			}
+		}
+
+		check(0)
+		for round := 1; round <= 8; round++ {
+			calls := doc.Calls()
+			if len(calls) == 0 {
+				break
+			}
+			call := calls[rng.Intn(len(calls))]
+			parent := call.Parent
+			doc.ReplaceCall(call, randIncrForest(rng, 2))
+			for _, tr := range qs {
+				tr.ie.Invalidate(parent, call)
+			}
+			check(round)
+		}
+	}
+	if totalHits == 0 {
+		t.Fatal("EvalIncremental never hit the memo across 20 seeds")
+	}
+}
+
 // TestIncrementalStaleWithoutInvalidate documents the contract: skipping
 // Invalidate after a mutation may serve stale matches. This is why the
 // engine threads every ReplaceCall through Invalidate.

@@ -1,0 +1,190 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ShedError reports an admission rejection: the server is saturated (every
+// execution slot busy and the wait queue at its budget) and the client
+// should retry after the hinted delay. The HTTP layer renders it as
+// 429 Too Many Requests with a Retry-After header.
+type ShedError struct {
+	// RetryAfter is the server's backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("session: admission queue full, retry after %v", e.RetryAfter)
+}
+
+// admission is a weighted FIFO semaphore with a bounded wait queue — the
+// server's only backpressure point. A query acquires weight tokens before
+// touching any document; when no tokens are free it waits in strict FIFO
+// order, and when the queue itself is full the acquire fails immediately
+// with ShedError (load shedding, never unbounded buffering). Draining
+// wakes every queued waiter with ErrDraining and lets active queries
+// finish.
+//
+// FIFO matters for fairness: Go's sync.Cond and channel selects wake
+// waiters in unspecified order, which under sustained overload can
+// starve an unlucky client indefinitely. The explicit waiter list
+// guarantees admission in arrival order.
+type admission struct {
+	mu       sync.Mutex
+	capacity int64 // total tokens
+	used     int64 // tokens held by active queries
+	maxQueue int   // waiters allowed before shedding
+	waiters  []*waiter
+	draining bool
+	idle     chan struct{} // closed when draining and used == 0
+}
+
+type waiter struct {
+	weight int64
+	ready  chan error // buffered(1): grant (nil), ErrDraining, or nothing if abandoned
+}
+
+func newAdmission(capacity int64, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire obtains weight tokens, waiting in FIFO order behind earlier
+// arrivals. It fails fast with ShedError when the wait queue is at budget,
+// with ErrDraining when the server is shutting down, and with ctx.Err()
+// when the caller gives up first. Weights above the total capacity are
+// clamped so oversized requests remain admissible (they just run alone).
+func (a *admission) acquire(ctx context.Context, weight int64, retryAfter time.Duration) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return ErrDraining
+	}
+	if len(a.waiters) == 0 && a.capacity-a.used >= weight {
+		a.used += weight
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
+		return &ShedError{RetryAfter: retryAfter}
+	}
+	w := &waiter{weight: weight, ready: make(chan error, 1)}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case err := <-w.ready:
+		return err
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, x := range a.waiters {
+			if x == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Already granted between ctx firing and the lock: the tokens are
+		// ours, so hand them straight back.
+		if err := <-w.ready; err == nil {
+			a.release(weight)
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns weight tokens and grants as many queued waiters as now
+// fit, in FIFO order.
+func (a *admission) release(weight int64) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	a.mu.Lock()
+	a.used -= weight
+	if a.used < 0 {
+		a.used = 0
+	}
+	a.grantLocked()
+	if a.draining && a.used == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// grantLocked admits the longest-waiting queries that fit the free
+// capacity. It stops at the first waiter that does not fit — skipping
+// ahead would let a stream of light queries starve a heavy one.
+func (a *admission) grantLocked() {
+	for len(a.waiters) > 0 && !a.draining {
+		w := a.waiters[0]
+		if a.capacity-a.used < w.weight {
+			return
+		}
+		a.used += w.weight
+		a.waiters = a.waiters[1:]
+		w.ready <- nil
+	}
+}
+
+// queued reports the current wait-queue length.
+func (a *admission) queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}
+
+// active reports the tokens currently held.
+func (a *admission) active() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// drain switches the semaphore into shutdown: queued waiters are refused
+// with ErrDraining, new acquires fail the same way, and the call blocks
+// until every active query has released its tokens or ctx expires.
+// Draining is idempotent; concurrent drains all wait for idleness.
+func (a *admission) drain(ctx context.Context) error {
+	a.mu.Lock()
+	a.draining = true
+	for _, w := range a.waiters {
+		w.ready <- ErrDraining
+	}
+	a.waiters = nil
+	if a.used == 0 {
+		a.mu.Unlock()
+		return nil
+	}
+	if a.idle == nil {
+		a.idle = make(chan struct{})
+	}
+	idle := a.idle
+	a.mu.Unlock()
+
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

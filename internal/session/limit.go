@@ -1,0 +1,48 @@
+package session
+
+import (
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// LimitRegistry returns a registry proxying reg through a shared
+// invocation pool of the given width: at most limit invocations are in
+// flight across every concurrent session, whatever each engine's own
+// Options.InvokeWorkers asks for. It is the serving-side counterpart of
+// the engine's per-evaluation pool — one tenant's parallel batch cannot
+// monopolise the providers that every other tenant shares.
+//
+// The wrapper composes with the response cache exactly like Cache.Wrap:
+// sessions use cache.Wrap(LimitRegistry(base, n, reg)) so cache hits are
+// answered without consuming a pool slot, and only true misses queue.
+// The inflight gauge (axml_invocations_inflight) exposes the pool's
+// instantaneous occupancy. limit < 1 returns reg unchanged.
+func LimitRegistry(reg *service.Registry, limit int, metrics *telemetry.Registry) *service.Registry {
+	if limit < 1 {
+		return reg
+	}
+	slots := make(chan struct{}, limit)
+	inflight := metrics.Gauge(telemetry.MetricInvokeInflight)
+	out := service.NewRegistry()
+	for _, name := range reg.Names() {
+		inner := reg.Lookup(name)
+		name := name
+		canPush := inner.CanPush
+		out.Register(&service.Service{
+			Name:    name,
+			Latency: inner.Latency,
+			CanPush: canPush,
+			Remote: func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+				slots <- struct{}{}
+				inflight.Add(1)
+				resp, err := reg.Invoke(name, params, pushed)
+				inflight.Add(-1)
+				<-slots
+				return resp, err
+			},
+		})
+	}
+	return out
+}

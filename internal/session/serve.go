@@ -1,0 +1,160 @@
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// QueryRequest is the POST /query JSON body.
+type QueryRequest struct {
+	// Tenant identifies the client (optional).
+	Tenant string `json:"tenant,omitempty"`
+	// Document names the target document.
+	Document string `json:"document"`
+	// Query is the tree-pattern source.
+	Query string `json:"query"`
+	// Weight is the admission cost (optional, default 1).
+	Weight int `json:"weight,omitempty"`
+	// Isolated requests a private document clone (optional).
+	Isolated bool `json:"isolated,omitempty"`
+}
+
+// QueryResponse is the POST /query JSON answer.
+type QueryResponse struct {
+	// Document echoes the target.
+	Document string `json:"document"`
+	// Bindings holds one variable→value map per result.
+	Bindings []map[string]string `json:"bindings"`
+	// Complete is the Definition-3 completeness flag.
+	Complete bool `json:"complete"`
+	// Memo reports a shared-memo answer (no engine run).
+	Memo bool `json:"memo,omitempty"`
+	// CallsInvoked, Rounds and VirtualMs summarise the engine work.
+	CallsInvoked int     `json:"callsInvoked"`
+	Rounds       int     `json:"rounds"`
+	VirtualMs    float64 `json:"virtualMs"`
+	// QueuedMs and ElapsedMs are wall-clock admission wait and execution
+	// time.
+	QueuedMs  float64 `json:"queuedMs"`
+	ElapsedMs float64 `json:"elapsedMs"`
+}
+
+// errorBody is the JSON error envelope every non-2xx answer carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler mounts the manager's endpoints on a new mux:
+//
+//	POST /query      run one query (QueryRequest → QueryResponse)
+//	GET  /documents  list resident document names
+//	GET  /tenants    per-tenant accounting
+//	GET  /stats      manager snapshot
+//
+// Admission failures map to transport semantics: shed → 429 with a
+// Retry-After header (whole seconds, rounded up), draining → 503,
+// unknown document → 404, bad query → 400.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	Mount(mux, m)
+	return mux
+}
+
+// Mount attaches the manager's endpoints to an existing mux (axmlserver
+// mounts them next to the SOAP and telemetry endpoints).
+func Mount(mux *http.ServeMux, m *Manager) {
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("session: POST only"))
+			return
+		}
+		var qr QueryRequest
+		if err := json.NewDecoder(r.Body).Decode(&qr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("session: bad request body: %w", err))
+			return
+		}
+		res, err := m.Query(r.Context(), Request{
+			Tenant:   qr.Tenant,
+			Document: qr.Document,
+			Query:    qr.Query,
+			Weight:   qr.Weight,
+			Isolated: qr.Isolated,
+		})
+		if err != nil {
+			status, retryAfter := errStatus(err)
+			if retryAfter > 0 {
+				w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
+			}
+			writeError(w, status, err)
+			return
+		}
+		bindings := make([]map[string]string, len(res.Bindings))
+		for i, b := range res.Bindings {
+			bindings[i] = b
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Document:     qr.Document,
+			Bindings:     bindings,
+			Complete:     res.Complete,
+			Memo:         res.Memo,
+			CallsInvoked: res.Stats.CallsInvoked,
+			Rounds:       res.Stats.Rounds,
+			VirtualMs:    float64(res.Stats.VirtualTime) / float64(time.Millisecond),
+			QueuedMs:     float64(res.Queued) / float64(time.Millisecond),
+			ElapsedMs:    float64(res.Elapsed) / float64(time.Millisecond),
+		})
+	})
+	mux.HandleFunc("/documents", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Documents())
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.TenantStats())
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+}
+
+// errStatus maps a Query error to its HTTP status and Retry-After hint.
+func errStatus(err error) (status int, retryAfter time.Duration) {
+	var shed *ShedError
+	var unknown *UnknownDocumentError
+	var bad *BadQueryError
+	switch {
+	case errors.As(err, &shed):
+		return http.StatusTooManyRequests, shed.RetryAfter
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, 0
+	case errors.As(err, &unknown):
+		return http.StatusNotFound, 0
+	case errors.As(err, &bad):
+		return http.StatusBadRequest, 0
+	default:
+		return http.StatusInternalServerError, 0
+	}
+}
+
+// retryAfterSeconds rounds a hint up to whole seconds — Retry-After is an
+// integer header, and rounding down would tell clients to retry sooner
+// than the server asked.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}

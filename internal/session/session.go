@@ -1,0 +1,582 @@
+// Package session turns the lazy evaluation engine into a multi-tenant
+// query service: a repository of named AXML documents, each evaluated
+// lazily in place by concurrent client sessions that share one relevance
+// memo, one response cache and one bounded invocation pool.
+//
+// The sharing is the point. The paper's laziness pays off per query —
+// invoke only relevant calls — but a server amortises further across
+// queries: a call materialised for one tenant's query never needs
+// invoking again for anyone (the master document keeps the result), the
+// response cache deduplicates identical invocations across documents,
+// and a persistent pattern.IncrementalEvaluator per (document, query)
+// answers repeat queries from its memo without re-walking the document.
+// Soundness rests on the paper's completeness invariant (Definition 3):
+// a query's full result does not depend on how much of the document is
+// already materialised, so evaluating against a master that other
+// tenants have partially materialised returns exactly the serial-world
+// result.
+//
+// Concurrency control is two-level. A weighted FIFO admission semaphore
+// bounds the queries executing at once and sheds load (ShedError → HTTP
+// 429) when its bounded wait queue overflows — backpressure, never
+// unbounded buffering. Within a document, shared-mode queries serialise
+// on the entry's write lock (the engine mutates the master in place);
+// isolated-mode queries clone the master under a read lock and evaluate
+// the clone in parallel, paying materialisation cost for isolation.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/store"
+	"github.com/activexml/axml/internal/telemetry"
+	"github.com/activexml/axml/internal/tree"
+)
+
+// ErrDraining reports that the server is shutting down: queued and new
+// queries are refused (HTTP 503) while active ones finish.
+var ErrDraining = errors.New("session: server draining")
+
+// UnknownDocumentError reports a query against a document the repository
+// does not hold (HTTP 404).
+type UnknownDocumentError struct{ Name string }
+
+func (e *UnknownDocumentError) Error() string {
+	return fmt.Sprintf("session: unknown document %q", e.Name)
+}
+
+// BadQueryError reports an unparsable query (HTTP 400).
+type BadQueryError struct{ Err error }
+
+func (e *BadQueryError) Error() string { return "session: bad query: " + e.Err.Error() }
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// Config assembles a Manager. Registry is the only required field.
+type Config struct {
+	// Registry serves every document's Web services. Wrap it in the
+	// shared cache/limiter stack before handing it over (see NewManager's
+	// default) or pre-compose your own.
+	Registry *service.Registry
+	// Store, when set, backs the document repository: documents not yet
+	// resident are loaded from it on first query, and Drain persists
+	// every master back. Nil keeps the repository memory-only.
+	Store *store.Store
+	// Metrics receives the session counters, gauges and latency
+	// histograms (axml_sessions_*); nil disables them.
+	Metrics *telemetry.Registry
+	// Tracer receives the engine's evaluation spans; nil disables.
+	Tracer *telemetry.Tracer
+	// Engine is the evaluation template: strategy, layering, parallelism,
+	// retry and failure policy for every query. Per-query fields (Clock,
+	// Metrics, Tracer, OnMutate, Schema) are overridden by the manager.
+	Engine core.Options
+	// MaxActive bounds concurrently executing queries (admission tokens);
+	// 0 means GOMAXPROCS.
+	MaxActive int
+	// MaxQueued bounds the admission wait queue; past it queries are shed
+	// with ShedError. 0 means 4×MaxActive; negative means no queue (shed
+	// immediately when saturated).
+	MaxQueued int
+	// RetryAfter is the backoff hint attached to shed responses; 0 means
+	// 500ms.
+	RetryAfter time.Duration
+	// Isolated, when true, evaluates every query on a private clone of
+	// the master document instead of materialising the shared master —
+	// full isolation, no cross-tenant amortisation. Requests can also
+	// opt in individually.
+	Isolated bool
+	// Clock supplies a fresh virtual clock per query; nil means a new
+	// SimClock each time (simulated latency, no real sleeping).
+	Clock func() service.Clock
+}
+
+// Request is one query against one named document.
+type Request struct {
+	// Tenant identifies the client for per-tenant accounting; empty is
+	// the anonymous tenant.
+	Tenant string
+	// Document names the target document in the repository.
+	Document string
+	// Query is the tree-pattern query source.
+	Query string
+	// Weight is the admission cost (heavier queries may take more than
+	// one execution token); values below 1 mean 1.
+	Weight int
+	// Isolated requests a private clone for this query even when the
+	// manager default is shared.
+	Isolated bool
+}
+
+// Result is one query's answer.
+type Result struct {
+	// Bindings holds one variable-binding map per query result, cloned
+	// from the evaluation — safe to retain after the master document
+	// moves on. Node captures are not exposed: the master is shared and
+	// mutable, so the session layer returns only immutable values.
+	Bindings []tree.Binding
+	// Complete reports the paper's Definition-3 completeness: the result
+	// is the query's full answer.
+	Complete bool
+	// Memo reports that the answer came from the shared incremental
+	// evaluator's memo without running the engine (the document was
+	// already complete for this query).
+	Memo bool
+	// Stats is the engine accounting (zero for memo answers except
+	// NodesVisited/MemoHits).
+	Stats core.Stats
+	// Queued is the time spent waiting for admission.
+	Queued time.Duration
+	// Elapsed is the execution time after admission.
+	Elapsed time.Duration
+}
+
+// Stats is a point-in-time snapshot of the manager.
+type Stats struct {
+	// Documents is the number of resident documents.
+	Documents int
+	// Active is the number of executing queries (admission tokens held).
+	Active int64
+	// Queued is the admission wait-queue length.
+	Queued int
+	// Served counts completed queries; Shed counts admission rejections;
+	// Memo counts queries answered from the shared memo.
+	Served, Shed, Memo int64
+}
+
+// TenantStats accumulates per-tenant accounting.
+type TenantStats struct {
+	// Queries counts completed queries; Shed counts rejections.
+	Queries, Shed int64
+	// CallsInvoked sums engine invocations charged to the tenant.
+	CallsInvoked int64
+}
+
+// Manager is the multi-tenant session coordinator. All methods are safe
+// for concurrent use.
+type Manager struct {
+	cfg   Config
+	adm   *admission
+	clock func() service.Clock
+
+	mu      sync.Mutex // guards entries and tenants maps
+	entries map[string]*entry
+	tenants map[string]*TenantStats
+
+	served atomic.Int64
+	memo   atomic.Int64
+	shed   atomic.Int64
+
+	mSessions  *telemetry.Counter
+	mActive    *telemetry.Gauge
+	mQueued    *telemetry.Gauge
+	mShed      *telemetry.Counter
+	mMemo      *telemetry.Counter
+	mSeconds   *telemetry.Histogram
+	mQueueSecs *telemetry.Histogram
+}
+
+// entry is one resident document: the shared master, its schema, the
+// per-query incremental evaluators and the completeness ledger.
+type entry struct {
+	name   string
+	schema *schema.Schema
+
+	mu      sync.RWMutex // write: shared-mode evaluation; read: clone for isolated mode
+	master  *tree.Document
+	version uint64 // bumped on every master mutation
+
+	queries  map[string]*pattern.Pattern              // parsed query cache
+	ievs     map[string]*pattern.IncrementalEvaluator // shared memo per query text
+	complete map[string]uint64                        // query text → version at which master was complete
+}
+
+// NewManager builds a Manager. The registry is used as given — compose
+// the serving stack first, e.g.:
+//
+//	base := workloadRegistry()
+//	limited := session.LimitRegistry(base, invokeLimit, metrics)
+//	cache := service.NewCache(service.CacheSpec{MaxEntries: n})
+//	cache.Instrument(metrics)
+//	mgr := session.NewManager(session.Config{Registry: cache.Wrap(limited), ...})
+//
+// so cache hits bypass the invocation pool and misses queue for a slot.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case cfg.MaxQueued == 0:
+		cfg.MaxQueued = 4 * cfg.MaxActive
+	case cfg.MaxQueued < 0:
+		cfg.MaxQueued = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 500 * time.Millisecond
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() service.Clock { return &service.SimClock{} }
+	}
+	m := &Manager{
+		cfg:     cfg,
+		adm:     newAdmission(int64(cfg.MaxActive), cfg.MaxQueued),
+		clock:   clock,
+		entries: map[string]*entry{},
+		tenants: map[string]*TenantStats{},
+
+		mSessions:  cfg.Metrics.Counter(telemetry.MetricSessionsTotal),
+		mActive:    cfg.Metrics.Gauge(telemetry.MetricSessionsActive),
+		mQueued:    cfg.Metrics.Gauge(telemetry.MetricSessionsQueued),
+		mShed:      cfg.Metrics.Counter(telemetry.MetricSessionsShed),
+		mMemo:      cfg.Metrics.Counter(telemetry.MetricSessionsMemo),
+		mSeconds:   cfg.Metrics.Histogram(telemetry.MetricSessionSeconds),
+		mQueueSecs: cfg.Metrics.Histogram(telemetry.MetricSessionQueueSeconds),
+	}
+	return m
+}
+
+// AddDocument registers (or replaces) a named document. The manager owns
+// doc from here on: shared-mode queries materialise it in place. sch may
+// be nil; with a schema, typed strategies refine relevance per document.
+func (m *Manager) AddDocument(name string, doc *tree.Document, sch *schema.Schema) error {
+	if name == "" {
+		return errors.New("session: empty document name")
+	}
+	if doc == nil {
+		return errors.New("session: nil document")
+	}
+	e := &entry{
+		name:     name,
+		schema:   sch,
+		master:   doc,
+		queries:  map[string]*pattern.Pattern{},
+		ievs:     map[string]*pattern.IncrementalEvaluator{},
+		complete: map[string]uint64{},
+	}
+	m.mu.Lock()
+	m.entries[name] = e
+	m.mu.Unlock()
+	return nil
+}
+
+// Documents lists the resident document names, sorted.
+func (m *Manager) Documents() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.entries))
+	for n := range m.entries {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookup returns the entry for name, faulting it in from the store when
+// backed and absent. Store-faulted entries carry no schema (the store
+// persists documents only), so they evaluate untyped until AddDocument
+// re-registers them with signatures.
+func (m *Manager) lookup(name string) (*entry, error) {
+	m.mu.Lock()
+	e := m.entries[name]
+	m.mu.Unlock()
+	if e != nil {
+		return e, nil
+	}
+	if m.cfg.Store == nil || !m.cfg.Store.Exists(name) {
+		return nil, &UnknownDocumentError{Name: name}
+	}
+	doc, err := m.cfg.Store.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("session: load %q: %w", name, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if again := m.entries[name]; again != nil { // lost the load race
+		return again, nil
+	}
+	e = &entry{
+		name:     name,
+		master:   doc,
+		queries:  map[string]*pattern.Pattern{},
+		ievs:     map[string]*pattern.IncrementalEvaluator{},
+		complete: map[string]uint64{},
+	}
+	m.entries[name] = e
+	return e, nil
+}
+
+// Query runs one request to completion: admission, then shared or
+// isolated evaluation. It returns ShedError/ErrDraining/ctx errors from
+// admission, UnknownDocumentError or BadQueryError for bad requests, and
+// the engine's error otherwise.
+func (m *Manager) Query(ctx context.Context, req Request) (*Result, error) {
+	weight := int64(req.Weight)
+	if weight < 1 {
+		weight = 1
+	}
+	t0 := time.Now()
+	m.mQueued.Add(1)
+	err := m.adm.acquire(ctx, weight, m.cfg.RetryAfter)
+	m.mQueued.Add(-1)
+	queued := time.Since(t0)
+	if err != nil {
+		var shed *ShedError
+		if errors.As(err, &shed) {
+			m.shed.Add(1)
+			m.mShed.Inc()
+			m.tenant(req.Tenant, func(ts *TenantStats) { ts.Shed++ })
+		}
+		return nil, err
+	}
+	m.mActive.Add(1)
+	defer func() {
+		m.mActive.Add(-1)
+		m.adm.release(weight)
+	}()
+	m.mQueueSecs.Observe(queued)
+
+	e, err := m.lookup(req.Document)
+	if err != nil {
+		return nil, err
+	}
+	q, err := e.parse(req.Query)
+	if err != nil {
+		return nil, &BadQueryError{Err: err}
+	}
+
+	t1 := time.Now()
+	var res *Result
+	if m.cfg.Isolated || req.Isolated {
+		res, err = m.queryIsolated(e, q)
+	} else {
+		res, err = m.queryShared(e, req.Query, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Queued = queued
+	res.Elapsed = time.Since(t1)
+	m.served.Add(1)
+	m.mSessions.Inc()
+	m.mSeconds.Observe(res.Elapsed)
+	if res.Memo {
+		m.memo.Add(1)
+		m.mMemo.Inc()
+	}
+	calls := int64(res.Stats.CallsInvoked)
+	m.tenant(req.Tenant, func(ts *TenantStats) {
+		ts.Queries++
+		ts.CallsInvoked += calls
+	})
+	return res, nil
+}
+
+// parse returns the cached pattern for src, parsing on first use.
+// Patterns are immutable after parse, so one instance serves every
+// session.
+func (e *entry) parse(src string) (*pattern.Pattern, error) {
+	e.mu.RLock()
+	q := e.queries[src]
+	e.mu.RUnlock()
+	if q != nil {
+		return q, nil
+	}
+	q, err := pattern.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev := e.queries[src]; prev != nil {
+		q = prev
+	} else {
+		e.queries[src] = q
+	}
+	e.mu.Unlock()
+	return q, nil
+}
+
+// queryShared evaluates on the shared master under the entry write lock.
+// Fast path: if the master is still complete for this query (no mutation
+// since the last full evaluation), the shared incremental evaluator
+// answers from its memo without running the engine.
+func (m *Manager) queryShared(e *entry, qtext string, q *pattern.Pattern) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if v, ok := e.complete[qtext]; ok && v == e.version {
+		iev := e.ievs[qtext]
+		rs, st := iev.EvalIncremental(e.master)
+		return &Result{
+			Bindings: cloneBindings(rs),
+			Complete: true,
+			Memo:     true,
+			Stats:    core.Stats{NodesVisited: st.NodesVisited, MemoHits: st.MemoHits},
+		}, nil
+	}
+
+	if e.ievs[qtext] == nil {
+		e.ievs[qtext] = pattern.NewIncremental(q)
+	}
+
+	opts := m.options(e)
+	out, err := core.Evaluate(e.master, q, m.cfg.Registry, opts)
+	if err != nil {
+		return nil, err
+	}
+	if out.Complete {
+		e.complete[qtext] = e.version
+	}
+	return &Result{
+		Bindings: cloneBindings(out.Results),
+		Complete: out.Complete,
+		Stats:    out.Stats,
+	}, nil
+}
+
+// queryIsolated clones the master under a read lock and evaluates the
+// clone privately — parallel across sessions, no shared materialisation.
+func (m *Manager) queryIsolated(e *entry, q *pattern.Pattern) (*Result, error) {
+	e.mu.RLock()
+	doc := e.master.Clone()
+	opts := m.isolatedOptions(e)
+	e.mu.RUnlock()
+
+	out, err := core.Evaluate(doc, q, m.cfg.Registry, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Bindings: cloneBindings(out.Results),
+		Complete: out.Complete,
+		Stats:    out.Stats,
+	}, nil
+}
+
+// options instantiates the engine template for one shared-mode query:
+// fresh clock, shared telemetry, the entry's schema, and the OnMutate
+// hook that keeps every shared evaluator's memo and the completeness
+// ledger in lockstep with the engine's splices. Must be called with
+// e.mu write-held (the hook mutates entry state).
+func (m *Manager) options(e *entry) core.Options {
+	opts := m.isolatedOptions(e)
+	opts.OnMutate = func(parent, removed *tree.Node) {
+		e.version++
+		for _, iev := range e.ievs {
+			iev.Invalidate(parent, removed)
+		}
+	}
+	return opts
+}
+
+// isolatedOptions instantiates the engine template without the shared
+// mutation hook (clones have no shared state to maintain).
+func (m *Manager) isolatedOptions(e *entry) core.Options {
+	opts := m.cfg.Engine
+	opts.Clock = m.clock()
+	opts.Metrics = m.cfg.Metrics
+	opts.Tracer = m.cfg.Tracer
+	opts.OnMutate = nil
+	// Schema residency decides typing: refine the lazy strategies when
+	// the document carries signatures, degrade gracefully when not.
+	opts.Schema = e.schema
+	if e.schema != nil && opts.Strategy == core.LazyNFQ {
+		opts.Strategy = core.LazyNFQTyped
+	}
+	if e.schema == nil && opts.Strategy == core.LazyNFQTyped {
+		opts.Strategy = core.LazyNFQ
+	}
+	return opts
+}
+
+// cloneBindings projects evaluation results onto immutable variable
+// bindings. Node captures reference live master nodes and are not safe
+// to hand across the entry lock, so only values cross the boundary.
+func cloneBindings(rs []pattern.Result) []tree.Binding {
+	out := make([]tree.Binding, len(rs))
+	for i, r := range rs {
+		b := make(tree.Binding, len(r.Values))
+		for k, v := range r.Values {
+			b[k] = v
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// tenant applies fn to the named tenant's accounting under the manager
+// lock.
+func (m *Manager) tenant(name string, fn func(*TenantStats)) {
+	m.mu.Lock()
+	ts := m.tenants[name]
+	if ts == nil {
+		ts = &TenantStats{}
+		m.tenants[name] = ts
+	}
+	fn(ts)
+	m.mu.Unlock()
+}
+
+// TenantStats snapshots per-tenant accounting.
+func (m *Manager) TenantStats() map[string]TenantStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]TenantStats, len(m.tenants))
+	for k, v := range m.tenants {
+		out[k] = *v
+	}
+	return out
+}
+
+// Stats snapshots the manager.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	docs := len(m.entries)
+	m.mu.Unlock()
+	return Stats{
+		Documents: docs,
+		Active:    m.adm.active(),
+		Queued:    m.adm.queued(),
+		Served:    m.served.Load(),
+		Shed:      m.shed.Load(),
+		Memo:      m.memo.Load(),
+	}
+}
+
+// Drain shuts the manager down: new and queued queries are refused with
+// ErrDraining while active ones run to completion (or ctx expires), then
+// every master document is persisted to the store when one is configured.
+func (m *Manager) Drain(ctx context.Context) error {
+	if err := m.adm.drain(ctx); err != nil {
+		return err
+	}
+	if m.cfg.Store == nil {
+		return nil
+	}
+	m.mu.Lock()
+	entries := make([]*entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	var firstErr error
+	for _, e := range entries {
+		e.mu.RLock()
+		err := m.cfg.Store.Put(e.name, e.master)
+		e.mu.RUnlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,598 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/store"
+	"github.com/activexml/axml/internal/telemetry"
+	"github.com/activexml/axml/internal/tree"
+	"github.com/activexml/axml/internal/workload"
+)
+
+// suiteSpec keeps the differential worlds small enough for the seeded
+// sweeps to stay fast under -race while still covering hidden hotels,
+// intensional ratings and the join workload.
+func suiteSpec() workload.HotelSpec {
+	spec := workload.DefaultSpec()
+	spec.Hotels = 12
+	spec.HiddenHotels = 4
+	return spec
+}
+
+// canon renders bindings canonically: each binding's sorted k=v pairs,
+// then the whole multiset sorted — the "bit-identical results" the
+// differential tests compare.
+func canon(bs []tree.Binding) string {
+	keys := make([]string, len(bs))
+	for i, b := range bs {
+		parts := make([]string, 0, len(b))
+		for k, v := range b {
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		keys[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// serialOracle evaluates every (scenario, query) pair on a fresh clone,
+// serially — the single-tenant ground truth. Keys are "doc|query".
+func serialOracle(t *testing.T, reg *service.Registry, scenarios []workload.Scenario, engine core.Options) map[string]string {
+	t.Helper()
+	oracle := map[string]string{}
+	for _, sc := range scenarios {
+		for _, qsrc := range sc.Queries {
+			q, err := pattern.Parse(qsrc)
+			if err != nil {
+				t.Fatalf("parse %q: %v", qsrc, err)
+			}
+			opts := engine
+			opts.Clock = &service.SimClock{}
+			opts.Schema = sc.Schema
+			if sc.Schema != nil && opts.Strategy == core.LazyNFQ {
+				opts.Strategy = core.LazyNFQTyped
+			}
+			out, err := core.Evaluate(sc.Doc.Clone(), q, reg, opts)
+			if err != nil {
+				t.Fatalf("oracle %s %q: %v", sc.Name, qsrc, err)
+			}
+			if !out.Complete {
+				t.Fatalf("oracle %s %q incomplete", sc.Name, qsrc)
+			}
+			oracle[sc.Name+"|"+qsrc] = canon(cloneBindings(out.Results))
+		}
+	}
+	return oracle
+}
+
+// newSuiteManager assembles the full serving stack — base registry,
+// shared invocation pool, shared response cache, manager — and loads
+// every scenario document.
+func newSuiteManager(t *testing.T, cfg Config, spec workload.HotelSpec) (*Manager, []workload.Scenario, *service.Registry) {
+	t.Helper()
+	reg, scenarios := workload.Suite(spec)
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	cache := service.NewCache(service.CacheSpec{MaxEntries: 4096})
+	cache.Instrument(cfg.Metrics)
+	cfg.Registry = cache.Wrap(LimitRegistry(reg, 16, cfg.Metrics))
+	m := NewManager(cfg)
+	for _, sc := range scenarios {
+		if err := m.AddDocument(sc.Name, sc.Doc.Clone(), sc.Schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, scenarios, reg
+}
+
+// TestHammerSharedEvaluator is the concurrency hammer: N goroutines × M
+// mixed queries against one manager sharing the incremental evaluators,
+// the response cache and the invocation pool, under -race. Every single
+// answer must equal the serial oracle — correctness, not just survival.
+func TestHammerSharedEvaluator(t *testing.T) {
+	engine := core.Options{Strategy: core.LazyNFQ, Incremental: true}
+	m, scenarios, reg := newSuiteManager(t, Config{
+		Engine:    engine,
+		MaxActive: 8,
+		MaxQueued: 1 << 16, // the hammer asserts on results, not shedding
+	}, suiteSpec())
+	oracle := serialOracle(t, reg, scenarios, engine)
+
+	type job struct{ doc, query string }
+	var jobs []job
+	for _, sc := range scenarios {
+		for _, q := range sc.Queries {
+			jobs = append(jobs, job{sc.Name, q})
+		}
+	}
+
+	const goroutines = 8
+	const perGoroutine = 50
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perGoroutine; i++ {
+				j := jobs[rng.Intn(len(jobs))]
+				res, err := m.Query(context.Background(), Request{
+					Tenant:   fmt.Sprintf("tenant-%d", g),
+					Document: j.doc,
+					Query:    j.query,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %s %q: %w", g, j.doc, j.query, err)
+					return
+				}
+				if !res.Complete {
+					errs <- fmt.Errorf("goroutine %d: %s %q incomplete", g, j.doc, j.query)
+					return
+				}
+				if got, want := canon(res.Bindings), oracle[j.doc+"|"+j.query]; got != want {
+					errs <- fmt.Errorf("goroutine %d: %s %q diverges from serial oracle:\n got %s\nwant %s",
+						g, j.doc, j.query, got, want)
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := m.Stats()
+	if st.Served != goroutines*perGoroutine {
+		t.Fatalf("served %d queries, want %d", st.Served, goroutines*perGoroutine)
+	}
+	// Sharing must have paid: once a document is complete for a query,
+	// repeats are memo answers. With 400 queries over 8 query kinds the
+	// overwhelming majority hit the memo.
+	if st.Memo < int64(goroutines*perGoroutine/2) {
+		t.Fatalf("only %d/%d memo answers — the shared evaluator is not being reused", st.Memo, st.Served)
+	}
+	ts := m.TenantStats()
+	var total int64
+	for _, v := range ts {
+		total += v.Queries
+	}
+	if total != st.Served {
+		t.Fatalf("tenant accounting %d != served %d", total, st.Served)
+	}
+}
+
+// TestDifferentialWidths is the 20-seed sweep: the same seeded query mix
+// evaluated multi-tenant at session widths 1, 2, 4 and 8 must be
+// bit-identical — bindings and completeness flags — to single-tenant
+// serial evaluation.
+func TestDifferentialWidths(t *testing.T) {
+	spec := suiteSpec()
+	engine := core.Options{Strategy: core.LazyNFQ, Incremental: true}
+
+	// One oracle serves every width and seed: scenarios and handlers are
+	// deterministic, so ground truth is a function of (doc, query) only.
+	oracleReg, oracleScenarios := workload.Suite(spec)
+	oracle := serialOracle(t, oracleReg, oracleScenarios, engine)
+
+	type job struct{ doc, query string }
+	var jobs []job
+	for _, sc := range oracleScenarios {
+		for _, q := range sc.Queries {
+			jobs = append(jobs, job{sc.Name, q})
+		}
+	}
+
+	for _, width := range []int{1, 2, 4, 8} {
+		for seed := int64(0); seed < 20; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			mix := make([]job, 24)
+			for i := range mix {
+				mix[i] = jobs[rng.Intn(len(jobs))]
+			}
+
+			m, _, _ := newSuiteManager(t, Config{
+				Engine:    engine,
+				MaxActive: width,
+				MaxQueued: 1 << 16,
+			}, spec)
+
+			var wg sync.WaitGroup
+			errs := make(chan error, len(mix))
+			for i, j := range mix {
+				wg.Add(1)
+				go func(i int, j job) {
+					defer wg.Done()
+					res, err := m.Query(context.Background(), Request{Document: j.doc, Query: j.query})
+					if err != nil {
+						errs <- fmt.Errorf("width %d seed %d req %d: %w", width, seed, i, err)
+						return
+					}
+					if !res.Complete {
+						errs <- fmt.Errorf("width %d seed %d req %d: incomplete (serial is complete)", width, seed, i)
+						return
+					}
+					if got, want := canon(res.Bindings), oracle[j.doc+"|"+j.query]; got != want {
+						errs <- fmt.Errorf("width %d seed %d req %d (%s %q): concurrent result differs from serial:\n got %s\nwant %s",
+							width, seed, i, j.doc, j.query, got, want)
+						return
+					}
+					errs <- nil
+				}(i, j)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestIsolatedMatchesShared checks the two evaluation modes agree: a
+// private-clone query returns the same bindings as shared-master
+// evaluation and leaves the master untouched.
+func TestIsolatedMatchesShared(t *testing.T) {
+	engine := core.Options{Strategy: core.LazyNFQ}
+	m, scenarios, reg := newSuiteManager(t, Config{Engine: engine, MaxActive: 4}, suiteSpec())
+	oracle := serialOracle(t, reg, scenarios, engine)
+
+	sc := scenarios[0]
+	iso, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0], Isolated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle[sc.Name+"|"+sc.Queries[0]]
+	if canon(iso.Bindings) != want {
+		t.Fatalf("isolated diverges from oracle:\n got %s\nwant %s", canon(iso.Bindings), want)
+	}
+	if canon(shared.Bindings) != want {
+		t.Fatalf("shared diverges from oracle:\n got %s\nwant %s", canon(shared.Bindings), want)
+	}
+	if shared.Memo {
+		t.Fatal("first shared query claims a memo answer — the isolated run leaked materialisation into the master")
+	}
+}
+
+// TestMemoFastPath checks the repeat-query path: same document, same
+// query, no interleaved mutation — the second answer must come from the
+// shared evaluator's memo without an engine run, and still match.
+func TestMemoFastPath(t *testing.T) {
+	engine := core.Options{Strategy: core.LazyNFQ}
+	m, scenarios, _ := newSuiteManager(t, Config{Engine: engine, MaxActive: 2}, suiteSpec())
+
+	sc := scenarios[0]
+	first, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Memo {
+		t.Fatal("first query cannot be a memo answer")
+	}
+	if first.Stats.CallsInvoked == 0 {
+		t.Fatal("first query invoked no calls — the fixture is too materialised to test anything")
+	}
+	second, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Memo {
+		t.Fatal("repeat query on an unchanged master should be a memo answer")
+	}
+	if second.Stats.CallsInvoked != 0 {
+		t.Fatalf("memo answer invoked %d calls", second.Stats.CallsInvoked)
+	}
+	if canon(first.Bindings) != canon(second.Bindings) {
+		t.Fatalf("memo answer differs from engine answer:\n got %s\nwant %s",
+			canon(second.Bindings), canon(first.Bindings))
+	}
+
+	// A query that mutates the master (different query, new relevant
+	// calls) invalidates the fast path; the next repeat re-runs the
+	// engine and then memoises again.
+	if _, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[1]}); err != nil {
+		t.Fatal(err)
+	}
+	third, err := m.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(third.Bindings) != canon(first.Bindings) {
+		t.Fatal("post-mutation repeat diverged")
+	}
+}
+
+// gatedWorld builds a single-call document whose service blocks until
+// the gate channel is closed — the synthetic overload and drain fixture.
+func gatedWorld(gate <-chan struct{}) (*tree.Document, *service.Registry) {
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{
+		Name: "slow",
+		Handler: func([]*tree.Node) ([]*tree.Node, error) {
+			<-gate
+			n := tree.NewElement("v")
+			n.Append(tree.NewText("done"))
+			return []*tree.Node{n}, nil
+		},
+	})
+	root := tree.NewElement("r")
+	root.Append(tree.NewCall("slow"))
+	return tree.NewDocument(root), reg
+}
+
+const gatedQuery = `/r/v/$V -> $V`
+
+// TestOverloadShedsWithRetryAfter drives the admission path to
+// saturation: capacity 1, queue 1 — the second query queues, the third
+// is shed with ShedError carrying the Retry-After hint, and the
+// sessions_shed/sessions_active telemetry moves accordingly.
+func TestOverloadShedsWithRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	doc, reg := gatedWorld(gate)
+	metrics := telemetry.NewRegistry()
+	m := NewManager(Config{
+		Registry:   reg,
+		Metrics:    metrics,
+		Engine:     core.Options{Strategy: core.LazyNFQ},
+		MaxActive:  1,
+		MaxQueued:  1,
+		RetryAfter: 1300 * time.Millisecond,
+	})
+	if err := m.AddDocument("d", doc, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	first := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := m.Query(context.Background(), Request{Tenant: "a", Document: "d", Query: gatedQuery})
+		first <- err
+	}()
+	<-started
+	waitUntil(t, func() bool { return m.Stats().Active == 1 })
+	if got := metrics.Snapshot().Gauges[telemetry.MetricSessionsActive]; got != 1 {
+		t.Fatalf("sessions_active gauge = %d, want 1", got)
+	}
+
+	second := make(chan error, 1)
+	go func() {
+		_, err := m.Query(context.Background(), Request{Tenant: "b", Document: "d", Query: gatedQuery})
+		second <- err
+	}()
+	waitUntil(t, func() bool { return m.Stats().Queued == 1 })
+
+	// Queue full: the third query is shed immediately.
+	_, err := m.Query(context.Background(), Request{Tenant: "c", Document: "d", Query: gatedQuery})
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("expected ShedError, got %v", err)
+	}
+	if shed.RetryAfter != 1300*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 1300ms", shed.RetryAfter)
+	}
+	if got := metrics.Snapshot().Counters[telemetry.MetricSessionsShed]; got != 1 {
+		t.Fatalf("sessions_shed counter = %d, want 1", got)
+	}
+	if ts := m.TenantStats()["c"]; ts.Shed != 1 {
+		t.Fatalf("tenant c shed count = %d, want 1", ts.Shed)
+	}
+
+	close(gate)
+	if err := <-first; err != nil {
+		t.Fatalf("first query failed: %v", err)
+	}
+	if err := <-second; err != nil {
+		t.Fatalf("queued query failed: %v", err)
+	}
+	if got := metrics.Snapshot().Gauges[telemetry.MetricSessionsActive]; got != 0 {
+		t.Fatalf("sessions_active gauge = %d after completion, want 0", got)
+	}
+	if got := metrics.Snapshot().Counters[telemetry.MetricSessionsTotal]; got != 2 {
+		t.Fatalf("sessions_total = %d, want 2", got)
+	}
+}
+
+// TestDrainLetsActiveFinish checks shutdown semantics: during Drain an
+// in-flight query runs to completion, a queued one is refused with
+// ErrDraining, and new queries are refused immediately.
+func TestDrainLetsActiveFinish(t *testing.T) {
+	gate := make(chan struct{})
+	doc, reg := gatedWorld(gate)
+	m := NewManager(Config{
+		Registry:  reg,
+		Engine:    core.Options{Strategy: core.LazyNFQ},
+		MaxActive: 1,
+		MaxQueued: 4,
+	})
+	if err := m.AddDocument("d", doc, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	first := make(chan *Result, 1)
+	firstErr := make(chan error, 1)
+	go func() {
+		res, err := m.Query(context.Background(), Request{Document: "d", Query: gatedQuery})
+		first <- res
+		firstErr <- err
+	}()
+	waitUntil(t, func() bool { return m.Stats().Active == 1 })
+
+	queued := make(chan error, 1)
+	go func() {
+		_, err := m.Query(context.Background(), Request{Document: "d", Query: gatedQuery})
+		queued <- err
+	}()
+	waitUntil(t, func() bool { return m.Stats().Queued == 1 })
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- m.Drain(ctx)
+	}()
+
+	// The queued query is refused promptly, while the active one is
+	// still blocked in its service call.
+	if err := <-queued; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued query: got %v, want ErrDraining", err)
+	}
+	select {
+	case <-drained:
+		t.Fatal("drain returned while a query was still active")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// New arrivals are refused immediately.
+	if _, err := m.Query(context.Background(), Request{Document: "d", Query: gatedQuery}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new query during drain: got %v, want ErrDraining", err)
+	}
+
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-firstErr; err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", err)
+	}
+	if res := <-first; res == nil || !res.Complete || len(res.Bindings) != 1 {
+		t.Fatalf("in-flight query result corrupted by drain: %+v", res)
+	}
+}
+
+// TestDrainDeadline checks a Drain whose active query never finishes
+// gives up when its context expires.
+func TestDrainDeadline(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	doc, reg := gatedWorld(gate)
+	m := NewManager(Config{Registry: reg, Engine: core.Options{Strategy: core.LazyNFQ}, MaxActive: 1})
+	if err := m.AddDocument("d", doc, nil); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _ = m.Query(context.Background(), Request{Document: "d", Query: gatedQuery})
+	}()
+	waitUntil(t, func() bool { return m.Stats().Active == 1 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain: got %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestRequestErrors covers the client-error paths: unknown documents and
+// unparsable queries classify for their HTTP statuses.
+func TestRequestErrors(t *testing.T) {
+	m, scenarios, _ := newSuiteManager(t, Config{Engine: core.Options{Strategy: core.LazyNFQ}}, suiteSpec())
+
+	_, err := m.Query(context.Background(), Request{Document: "no-such-doc", Query: `/a/$X -> $X`})
+	var unknown *UnknownDocumentError
+	if !errors.As(err, &unknown) || unknown.Name != "no-such-doc" {
+		t.Fatalf("got %v, want UnknownDocumentError", err)
+	}
+
+	_, err = m.Query(context.Background(), Request{Document: scenarios[0].Name, Query: `[[[`})
+	var bad *BadQueryError
+	if !errors.As(err, &bad) {
+		t.Fatalf("got %v, want BadQueryError", err)
+	}
+}
+
+// waitUntil polls cond with a deadline — the tests' only clock
+// dependence, used for "the goroutine has reached the blocking point"
+// conditions that channels cannot express without changing the code
+// under test.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestStoreBackedRepository checks the persistence path: Drain writes
+// every master back to the store, and a fresh manager faults documents
+// in from the store on first query — including the materialisation the
+// previous incarnation already paid for.
+func TestStoreBackedRepository(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, scenarios := workload.Suite(suiteSpec())
+	engine := core.Options{Strategy: core.LazyNFQ}
+	oracle := serialOracle(t, reg, scenarios, engine)
+
+	m1 := NewManager(Config{Registry: reg, Store: st, Engine: engine})
+	sc := scenarios[0]
+	if err := m1.AddDocument(sc.Name, sc.Doc.Clone(), sc.Schema); err != nil {
+		t.Fatal(err)
+	}
+	first, err := m1.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.CallsInvoked == 0 {
+		t.Fatal("first query invoked nothing")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exists(sc.Name) {
+		t.Fatal("drain did not persist the master")
+	}
+
+	// Second incarnation: no AddDocument — the store supplies the
+	// document, already materialised for this query.
+	m2 := NewManager(Config{Registry: reg, Store: st, Engine: engine})
+	res, err := m2.Query(context.Background(), Request{Document: sc.Name, Query: sc.Queries[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon(res.Bindings), oracle[sc.Name+"|"+sc.Queries[0]]; got != want {
+		t.Fatalf("restored document diverges:\n got %s\nwant %s", got, want)
+	}
+	if !res.Complete {
+		t.Fatal("restored query incomplete")
+	}
+	// The store persists documents, not schemas, so the faulted-in entry
+	// runs untyped: a few calls that typed analysis pruned (museums) are
+	// candidates again. The materialisation itself must survive — the
+	// restored run re-invokes strictly fewer calls than the cold one.
+	if res.Stats.CallsInvoked >= first.Stats.CallsInvoked {
+		t.Fatalf("restored master re-invoked %d calls (cold run: %d) — persistence lost the materialisation",
+			res.Stats.CallsInvoked, first.Stats.CallsInvoked)
+	}
+}

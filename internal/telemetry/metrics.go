@@ -53,6 +53,16 @@ const (
 	// Fault injector (internal/service.Faults).
 	MetricFaultsInjected = "axml_faults_injected_total"
 
+	// Multi-tenant query sessions (internal/session).
+	MetricSessionsTotal       = "axml_sessions_total"
+	MetricSessionsActive      = "axml_sessions_active"
+	MetricSessionsQueued      = "axml_sessions_queued"
+	MetricSessionsShed        = "axml_sessions_shed_total"
+	MetricSessionsMemo        = "axml_sessions_memo_total"
+	MetricSessionSeconds      = "axml_session_seconds"
+	MetricSessionQueueSeconds = "axml_session_queue_seconds"
+	MetricInvokeInflight      = "axml_invocations_inflight"
+
 	// HTTP transport (internal/soap).
 	MetricHTTPRequests       = "axml_http_requests_total"
 	MetricHTTPFaults         = "axml_http_faults_total"

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/pattern"
+)
+
+// bindingKeys renders an outcome's variable bindings canonically so
+// strategies and evaluation modes compare by value.
+func bindingKeys(out *core.Outcome) []string {
+	keys := make([]string, len(out.Results))
+	for i, r := range out.Results {
+		parts := make([]string, 0, len(r.Values))
+		for k, v := range r.Values {
+			parts = append(parts, k+"="+v)
+		}
+		sort.Strings(parts)
+		keys[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestSuiteScenariosEvaluate checks every scenario query completes
+// against the shared registry, produces at least one result, and agrees
+// between the naive strawman and the typed lazy strategy — the
+// fixed-point every serving-layer differential builds on.
+func TestSuiteScenariosEvaluate(t *testing.T) {
+	reg, scenarios := Suite(DefaultSpec())
+	if len(scenarios) != 4 {
+		t.Fatalf("got %d scenarios, want 4", len(scenarios))
+	}
+	for _, sc := range scenarios {
+		for _, qsrc := range sc.Queries {
+			lazyDoc := sc.Doc.Clone()
+			naiveDoc := sc.Doc.Clone()
+			q, err := pattern.Parse(qsrc)
+			if err != nil {
+				t.Fatalf("%s: parse %q: %v", sc.Name, qsrc, err)
+			}
+			lazy, err := core.Evaluate(lazyDoc, q, reg, core.Options{
+				Strategy: core.LazyNFQTyped, Schema: sc.Schema,
+			})
+			if err != nil {
+				t.Fatalf("%s: lazy %q: %v", sc.Name, qsrc, err)
+			}
+			naive, err := core.Evaluate(naiveDoc, q, reg, core.Options{Strategy: core.NaiveFixpoint})
+			if err != nil {
+				t.Fatalf("%s: naive %q: %v", sc.Name, qsrc, err)
+			}
+			if !lazy.Complete || !naive.Complete {
+				t.Fatalf("%s: %q incomplete (lazy=%t naive=%t)", sc.Name, qsrc, lazy.Complete, naive.Complete)
+			}
+			if len(lazy.Results) == 0 {
+				t.Fatalf("%s: %q produced no results", sc.Name, qsrc)
+			}
+			lk, nk := bindingKeys(lazy), bindingKeys(naive)
+			if strings.Join(lk, ";") != strings.Join(nk, ";") {
+				t.Fatalf("%s: %q lazy/naive diverge:\nlazy  %v\nnaive %v", sc.Name, qsrc, lk, nk)
+			}
+			if lazy.Stats.CallsInvoked > naive.Stats.CallsInvoked {
+				t.Fatalf("%s: %q lazy invoked %d calls > naive %d", sc.Name, qsrc,
+					lazy.Stats.CallsInvoked, naive.Stats.CallsInvoked)
+			}
+		}
+	}
+}
+
+// TestSuiteSharedRegistryServesAllDocs checks the single registry
+// resolves every service each scenario document can reach, including
+// the ones hidden inside service results (naive materialises them all).
+func TestSuiteSharedRegistryServesAllDocs(t *testing.T) {
+	reg, scenarios := Suite(DefaultSpec())
+	for _, sc := range scenarios {
+		doc := sc.Doc.Clone()
+		q, err := pattern.Parse(sc.Queries[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Evaluate(doc, q, reg, core.Options{Strategy: core.NaiveFixpoint}); err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if left := len(doc.Calls()); left != 0 {
+			t.Fatalf("%s: %d calls left after naive fixpoint", sc.Name, left)
+		}
+	}
+}
