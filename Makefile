@@ -25,15 +25,18 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
+	$(GO) test -run '^$$' -fuzz FuzzProject -fuzztime $(FUZZTIME) ./internal/schema/
 
 # bench records the perf trajectory: the root benchmark suite, the E10
-# incremental-evaluation and E11 invocation-pool sweeps, and the E12
-# multi-tenant serving run, written to BENCH_E{10,11,12}.json.
+# incremental-evaluation, E11 invocation-pool and E13 streaming/projection
+# sweeps, and the E12 multi-tenant serving run, written to
+# BENCH_E{10,11,12,13}.json.
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
 	$(GO) run ./cmd/axmlbench -exp E11 -json BENCH_E11.json
 	$(GO) run ./cmd/axmlload -self -clients 500 -requests 5000 -json BENCH_E12.json
+	$(GO) run ./cmd/axmlbench -exp E13 -json BENCH_E13.json
 
 # loadsmoke replays a small oracle-verified mixed workload through an
 # in-process session server — the serving-layer gate in `make check`.
@@ -44,6 +47,7 @@ loadsmoke:
 microbench:
 	$(GO) test -bench . -benchmem ./internal/pattern/
 	$(GO) test -bench E10TelemetryOverhead -benchmem .
+	$(GO) test -run TestE13AllocationRegression -count=1 ./internal/bench/
 
 # telemetry gates the observability layer on its own: vet plus the
 # race-detected tests of the tracer/metrics package and the two packages

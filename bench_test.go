@@ -46,6 +46,7 @@ func BenchmarkE6ExactVsLenientTypes(b *testing.B)   { benchExperiment(b, "E6") }
 func BenchmarkE7JoinRelaxation(b *testing.B)        { benchExperiment(b, "E7") }
 func BenchmarkE8HTTPEndToEnd(b *testing.B)          { benchExperiment(b, "E8") }
 func BenchmarkE11InvocationPool(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE13StreamProjection(b *testing.B)     { benchExperiment(b, "E13") }
 
 // BenchmarkStrategies reports per-strategy evaluation cost and the
 // calls-invoked metric on the default world — the quantities behind E1,

@@ -43,7 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("axmlbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "", "run a single experiment (E1..E11)")
+		exp      = fs.String("exp", "", "run a single experiment (E1..E11, E13)")
 		quick    = fs.Bool("quick", false, "use the small test-scale sweeps")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		jsonPath = fs.String("json", "", "also write the result tables as JSON to this file")

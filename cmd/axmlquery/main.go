@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "evaluate each round's relevance queries on this many goroutines (0/1 = sequential)")
 		invokeWork = fs.Int("invoke-workers", 0, "invoke up to this many independent calls of a round concurrently (implies -parallel; 0 = unbounded batches under -parallel, 1 = sequential)")
 		noIncr     = fs.Bool("no-incremental", false, "re-evaluate relevance queries from scratch each round")
+		noProject  = fs.Bool("no-project", false, "disable type-based document projection (typed strategy + schema only)")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "print the evaluation's span tree (detect/invoke timings, pruned vs invoked) to stderr")
 		traceOut   = fs.String("trace-out", "", "stream finished telemetry spans to this file as JSONL")
@@ -131,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Strategy: st, Push: *push, Layering: *layer, Parallel: *parallel,
 		UseGuide: *guide, RelaxJoins: *relax, MaxCalls: *maxCalls,
 		Incremental: !*noIncr, Workers: *workers, InvokeWorkers: *invokeWork,
+		NoProject: *noProject,
 	}
 	if *retries > 0 || *timeout > 0 {
 		opt.Retry = core.RetryPolicy{
@@ -318,6 +320,7 @@ func printStats(w io.Writer, st core.Stats) {
   rounds:             %d
   relevance queries:  %d
   guide candidates:   %d
+  subtrees projected: %d
   bytes fetched:      %d
   virtual time:       %v
   detection time:     %v
@@ -326,6 +329,6 @@ func printStats(w io.Writer, st core.Stats) {
 `, st.CallsInvoked, st.PushedCalls,
 		st.Retries, st.DeadlineCuts, st.FailedCalls,
 		st.Rounds, st.RelevanceQueries,
-		st.GuideCandidates, st.BytesFetched, st.VirtualTime, st.DetectTime,
+		st.GuideCandidates, st.SubtreesPruned, st.BytesFetched, st.VirtualTime, st.DetectTime,
 		st.AnalysisTime, st.FinalSize)
 }

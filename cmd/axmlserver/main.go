@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		invokeLimit  = fs.Int("invoke-limit", 16, "session invocations in flight across all tenants (0 = unbounded)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for active sessions")
 		isolated     = fs.Bool("isolated", false, "evaluate every session on a private document clone (no shared materialisation)")
+		noProject    = fs.Bool("no-project", false, "disable type-based document projection on schema-typed documents")
 		docsDir      = fs.String("docs", "", "persist materialised documents to this directory across restarts")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -152,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		Store:      st,
 		Metrics:    metrics,
 		Tracer:     tracer,
-		Engine:     core.Options{Strategy: core.LazyNFQ, Incremental: true},
+		Engine:     core.Options{Strategy: core.LazyNFQ, Incremental: true, NoProject: *noProject},
 		MaxActive:  *maxActive,
 		MaxQueued:  *maxQueued,
 		RetryAfter: *retryAfter,

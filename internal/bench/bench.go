@@ -32,6 +32,21 @@ type Table struct {
 	// Metrics holds latency-quantile summaries per histogram name when
 	// the experiment ran instrumented (RunInstrumented); empty otherwise.
 	Metrics map[string]HistogramSummary `json:",omitempty"`
+	// Allocs holds per-case allocation profiles for experiments that
+	// measure memory (E13): bytes and allocations per evaluation, keyed
+	// by "<case>/<mode>". This is the machine-readable series the
+	// BENCH_*.json trajectory tracks for allocation regressions.
+	Allocs map[string]AllocSummary `json:",omitempty"`
+}
+
+// AllocSummary is one benchmark case's allocation profile: allocation
+// volume and count per evaluation (runtime.MemStats deltas over the
+// measured iterations, the same quantities go test -bench reports as
+// B/op and allocs/op) plus mean wall time.
+type AllocSummary struct {
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	WallMs      float64 `json:"wall_ms"`
 }
 
 // String renders the table as aligned text.
@@ -109,6 +124,9 @@ type Scale struct {
 	// E11Workers are the InvokeWorkers pool widths of the sweep; the
 	// first entry is the speedup baseline (1 = in-batch sequential).
 	E11Workers []int
+	// E13Nodes are the synthetic document sizes (total tree nodes) of
+	// the streaming/projection allocation sweep.
+	E13Nodes []int
 	// Metrics, when set, is threaded through every evaluation an
 	// experiment runs, accumulating detect/invoke latency histograms
 	// (cmd/axmlbench -json reports their quantiles). Nil disables.
@@ -133,6 +151,7 @@ func Quick() Scale {
 		E10Sizes:        []int{10, 40},
 		E11Sizes:        []int{8},
 		E11Workers:      []int{1, 4},
+		E13Nodes:        []int{15000},
 	}
 }
 
@@ -152,6 +171,7 @@ func Full() Scale {
 		E10Sizes:        []int{10, 50, 100, 200, 500, 1000},
 		E11Sizes:        []int{16, 48},
 		E11Workers:      []int{1, 2, 4, 8},
+		E13Nodes:        []int{30000, 120000},
 	}
 }
 
@@ -176,6 +196,7 @@ func All() []Experiment {
 		{"E9", "lazy vs naive under injected faults with retries", E9},
 		{"E10", "incremental evaluation and response caching cut re-evaluation work", E10},
 		{"E11", "the bounded invocation pool cuts HTTP wall time by the layer width", E11},
+		{"E13", "streaming evaluation and type-based projection cut allocation", E13},
 	}
 }
 

@@ -162,6 +162,35 @@ func TestE6LenientInvokesMore(t *testing.T) {
 	}
 }
 
+// TestE13AllocationRegression is the allocation-regression smoke `make
+// microbench` runs: on the large-document case, the streaming evaluator
+// must not allocate more than the retained seed evaluator, and adding
+// projection must cut allocation volume at least 5x — the acceptance
+// floor the recorded BENCH_E13.json run established.
+func TestE13AllocationRegression(t *testing.T) {
+	tab, err := E13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := Quick().E13Nodes[len(Quick().E13Nodes)-1]
+	get := func(mode string) AllocSummary {
+		sum, ok := tab.Allocs[itoa(nodes)+"/"+mode]
+		if !ok {
+			t.Fatalf("no alloc summary for %d/%s in %v", nodes, mode, tab.Allocs)
+		}
+		return sum
+	}
+	seed, stream, proj := get("seed"), get("stream"), get("stream+proj")
+	if stream.AllocsPerOp > seed.AllocsPerOp {
+		t.Fatalf("streaming evaluator allocates more than the seed evaluator: %d vs %d allocs/op\n%s",
+			stream.AllocsPerOp, seed.AllocsPerOp, tab)
+	}
+	if proj.BytesPerOp*5 > seed.BytesPerOp {
+		t.Fatalf("projection reduction below the 5x floor: seed %d B/op, projected %d B/op\n%s",
+			seed.BytesPerOp, proj.BytesPerOp, tab)
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("E3"); !ok {
 		t.Fatal("E3 missing")

@@ -78,6 +78,19 @@ type Options struct {
 	Schema *schema.Schema
 	// SchemaMode selects exact or lenient satisfiability (Section 6.1).
 	SchemaMode schema.Mode
+	// NoProject disables type-based document projection. With a schema
+	// and the LazyNFQTyped strategy, the engine normally derives from
+	// schema + query a pruning predicate (desc of Definition 6) and has
+	// every pattern evaluation skip subtrees that provably cannot
+	// contain a match — relevance detection and result evaluation then
+	// scale with the projected document instead of the full one. Results
+	// and invoked-call sequences are identical either way (the predicate
+	// is sound under the same assumptions as typed relevance pruning:
+	// the document conforms to the schema, services to their
+	// signatures); only Stats work counters change. Set NoProject to
+	// evaluate over the whole document, e.g. for differential testing or
+	// on documents known to violate their schema.
+	NoProject bool
 	// Layering enables the layer decomposition of Section 4.3. Only
 	// meaningful for the lazy strategies.
 	Layering bool
@@ -327,6 +340,11 @@ type Stats struct {
 	// evaluator's memo table (Options.Incremental) — the re-evaluation
 	// work the incremental engine avoided.
 	MemoHits int
+	// SubtreesPruned accumulates document subtrees that type-based
+	// projection skipped wholesale during pattern evaluation — the work
+	// the projection avoided. Zero unless the engine projects (typed
+	// strategy with a schema, NoProject unset).
+	SubtreesPruned int
 	// BytesFetched is the serialised size of everything services
 	// returned.
 	BytesFetched int

@@ -85,6 +85,65 @@ func TestDifferentialAcrossRandomWorlds(t *testing.T) {
 	}
 }
 
+// TestProjectionDifferentialSweep is the acceptance net for type-based
+// document projection: over 50 random worlds, the typed strategy with
+// projection on must agree bit-for-bit with projection off AND with the
+// naive fixpoint at every detection/invocation pool width — and the two
+// runs must invoke exactly the same number of calls, since projection
+// may only skip statically irrelevant subtrees, never change what is
+// relevant. The sweep also requires that projection actually fired
+// somewhere, so a silently-trivial predicate cannot fake a pass.
+func TestProjectionDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential testing is not short")
+	}
+	prunedTotal := 0
+	for seed := int64(0); seed < 50; seed++ {
+		spec := randomSpec(seed)
+		w := workload.Hotels(spec)
+		baseline, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, Options{Strategy: NaiveFixpoint})
+		if err != nil {
+			t.Fatalf("seed %d: naive failed: %v", seed, err)
+		}
+		want := resultKeys(baseline)
+		for _, width := range []int{1, 2, 4, 8} {
+			var outcomes [2]*Outcome
+			for i, noProject := range []bool{false, true} {
+				opt := Options{
+					Strategy:      LazyNFQTyped,
+					Schema:        w.Schema,
+					Incremental:   true,
+					Workers:       width,
+					InvokeWorkers: width,
+					NoProject:     noProject,
+				}
+				out, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
+				if err != nil {
+					t.Fatalf("seed %d width %d noProject=%v: %v", seed, width, noProject, err)
+				}
+				if got := resultKeys(out); got != want {
+					t.Fatalf("seed %d width %d noProject=%v disagrees with naive\n got %q\nwant %q\nspec %+v",
+						seed, width, noProject, got, want, spec)
+				}
+				outcomes[i] = out
+			}
+			on, off := outcomes[0], outcomes[1]
+			if on.Stats.CallsInvoked != off.Stats.CallsInvoked {
+				t.Fatalf("seed %d width %d: projection changed invocations: %d with, %d without",
+					seed, width, on.Stats.CallsInvoked, off.Stats.CallsInvoked)
+			}
+			if off.Stats.SubtreesPruned != 0 {
+				t.Fatalf("seed %d width %d: NoProject run still pruned %d subtrees",
+					seed, width, off.Stats.SubtreesPruned)
+			}
+			prunedTotal += on.Stats.SubtreesPruned
+		}
+	}
+	if prunedTotal == 0 {
+		t.Fatal("projection never pruned a subtree across the whole sweep")
+	}
+}
+
 // TestDifferentialUnderInjectedFaults is the fault-tolerance half of the
 // differential net, and the acceptance check of the fault-injection
 // work: over ≥50 injector seeds at a 20% error rate (plus stalls),

@@ -115,10 +115,11 @@ func Evaluate(doc *tree.Document, q *pattern.Pattern, reg *service.Registry, opt
 		e.complete = cerr == nil && ok
 	}
 	resultSpan := e.opt.Tracer.Start("result-eval", e.spanEval.ID())
-	results, st := pattern.Eval(doc, q)
+	results, st := pattern.EvalProjected(doc, q, asProjector(e.userProj))
 	resultSpan.SetInt("results", int64(len(results)))
 	resultSpan.End()
 	e.stats.NodesVisited += st.NodesVisited
+	e.stats.SubtreesPruned += st.SubtreesPruned
 	e.stats.VirtualTime = e.opt.Clock.Elapsed()
 	e.stats.FinalSize = doc.Size()
 	// Calls still pending in the final document were never deemed
@@ -167,6 +168,15 @@ type engine struct {
 	// objects are regenerated; apply funnels every document mutation to
 	// the survivors so their memo tables stay sound.
 	incr map[*rewrite.NFQ]*pattern.IncrementalEvaluator
+	// projs holds each live relevance query's document-projection
+	// predicate (typed strategy, NoProject unset). Projections memoise
+	// a per-query satisfiability fixpoint, so they live exactly as long
+	// as the query objects: the map resets alongside incr. Predicates
+	// are immutable and shared read-only by detection pool workers.
+	projs map[*rewrite.NFQ]*schema.Projection
+	// userProj is the user query's own projection, applied to the final
+	// result evaluation; nil when the engine does not project.
+	userProj *schema.Projection
 	// traceLayer is the current layer index, stamped onto trace events.
 	traceLayer int
 	// round is the sequential detection/invocation round counter,
@@ -236,6 +246,9 @@ func (e *engine) runLazy() error {
 			return fmt.Errorf("core: LazyNFQTyped requires a schema")
 		}
 		e.an = schema.NewAnalyzer(e.opt.Schema, e.q, e.opt.SchemaMode)
+		if !e.opt.NoProject {
+			e.userProj = e.an.Projection()
+		}
 	}
 	// Build the relevance-query set once for the influence analysis; the
 	// per-iteration query objects are regenerated as the Done set and the
@@ -344,9 +357,10 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 			}
 			builtAt = e.nameVersion
 			// Regenerated query objects invalidate the evaluator shards
-			// wholesale: the shards memoise per query node ID, and the
-			// new queries' IDs mean different subtrees.
+			// and projection predicates wholesale: both memoise per query
+			// node ID, and the new queries' IDs mean different subtrees.
 			e.incr = map[*rewrite.NFQ]*pattern.IncrementalEvaluator{}
+			e.projs = map[*rewrite.NFQ]*schema.Projection{}
 			e.stats.AnalysisTime += time.Since(t0)
 		}
 		progressed := false
@@ -519,6 +533,7 @@ type detectDelta struct {
 	queried         bool // a relevance query actually ran (trace + counter)
 	nodesVisited    int
 	memoHits        int
+	subtreesPruned  int
 	guideCandidates int
 }
 
@@ -529,6 +544,7 @@ func (e *engine) mergeDetect(d detectDelta) {
 	}
 	e.stats.NodesVisited += d.nodesVisited
 	e.stats.MemoHits += d.memoHits
+	e.stats.SubtreesPruned += d.subtreesPruned
 	e.stats.GuideCandidates += d.guideCandidates
 }
 
@@ -542,10 +558,41 @@ func (e *engine) incremental(nfq *rewrite.NFQ) *pattern.IncrementalEvaluator {
 	}
 	iev := e.incr[nfq]
 	if iev == nil {
-		iev = pattern.NewIncremental(nfq.Query)
+		iev = pattern.NewIncrementalProjected(nfq.Query, asProjector(e.projection(nfq)))
 		e.incr[nfq] = iev
 	}
 	return iev
+}
+
+// projection returns (building on demand) the document-projection
+// predicate for one relevance query, or nil when the engine does not
+// project. Construction runs the per-query satisfiability fixpoint, so
+// it is charged to analysis time; the predicate is then cached for the
+// query object's lifetime. Only the coordinating goroutine may call it —
+// it writes e.projs; pool workers rely on detectMany pre-resolving every
+// predicate they will read.
+func (e *engine) projection(nfq *rewrite.NFQ) *schema.Projection {
+	if e.userProj == nil || nfq == nil {
+		return nil
+	}
+	proj, ok := e.projs[nfq]
+	if !ok {
+		t0 := time.Now()
+		proj = schema.NewProjection(e.opt.Schema, nfq.Query, e.opt.SchemaMode)
+		e.stats.AnalysisTime += time.Since(t0)
+		e.projs[nfq] = proj
+	}
+	return proj
+}
+
+// asProjector adapts a projection for the pattern evaluator: a nil or
+// trivial (nothing-prunable) predicate becomes a nil interface so the
+// evaluator skips the per-node check entirely.
+func asProjector(p *schema.Projection) pattern.Projector {
+	if p == nil || p.Trivial() {
+		return nil
+	}
+	return p
 }
 
 // detect retrieves the calls currently relevant for one NFQ: by direct
@@ -554,7 +601,7 @@ func (e *engine) incremental(nfq *rewrite.NFQ) *pattern.IncrementalEvaluator {
 // residual filtering (Section 6.2). Type pruning on the output side
 // (Section 5) applies in both paths. It reads shared engine state but
 // mutates none of it, so distinct NFQs may be detected concurrently.
-func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator) ([]*tree.Node, detectDelta) {
+func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator, proj *schema.Projection) ([]*tree.Node, detectDelta) {
 	var d detectDelta
 	if nfq == nil {
 		return nil, d
@@ -586,11 +633,12 @@ func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator) ([]
 	if iev != nil {
 		got, st = iev.MatchedCallsIncremental(e.doc, nfq.Out)
 	} else {
-		got, st = pattern.MatchedCallsStats(e.doc, nfq.Query, nfq.Out)
+		got, st = pattern.MatchedCallsProjected(e.doc, nfq.Query, nfq.Out, asProjector(proj))
 	}
 	d.queried = true
 	d.nodesVisited = st.NodesVisited
 	d.memoHits = st.MemoHits
+	d.subtreesPruned = st.SubtreesPruned
 	for _, c := range got {
 		if !e.failed[c] && nfq.SatisfiesOut(e.an, c.Label) {
 			calls = append(calls, c)
@@ -604,7 +652,7 @@ func (e *engine) detect(nfq *rewrite.NFQ, iev *pattern.IncrementalEvaluator) ([]
 // telemetry span. shard is the member's slot in the current layer.
 func (e *engine) relevantCalls(nfq *rewrite.NFQ, shard int) []*tree.Node {
 	t0 := time.Now()
-	calls, d := e.detect(nfq, e.incremental(nfq))
+	calls, d := e.detect(nfq, e.incremental(nfq), e.projection(nfq))
 	elapsed := time.Since(t0)
 	e.stats.DetectTime += elapsed
 	e.mergeDetect(d)
@@ -643,13 +691,19 @@ func (e *engine) emitDetectSpan(nfq *rewrite.NFQ, shard int, start time.Time, wa
 // parallel rounds stay race-clean and deterministic. Detection time is
 // charged as wall time: the pool's speedup is the observable quantity.
 func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Node {
-	t0 := time.Now()
 	calls := make([][]*tree.Node, len(members))
 	deltas := make([]detectDelta, len(members))
+	// Resolve every shard's evaluator and projection predicate on the
+	// coordinator before the pool starts: both caches are maps only the
+	// coordinator may write. Predicate construction is analysis work, so
+	// it happens outside the detection-time window below.
 	ievs := make([]*pattern.IncrementalEvaluator, len(members))
+	projs := make([]*schema.Projection, len(members))
 	for i, m := range members {
 		ievs[i] = e.incremental(queries[m])
+		projs[i] = e.projection(queries[m])
 	}
+	t0 := time.Now()
 	workers := e.opt.Workers
 	if workers > len(members) {
 		workers = len(members)
@@ -663,7 +717,7 @@ func (e *engine) detectMany(members []int, queries []*rewrite.NFQ) [][]*tree.Nod
 	walls := make([]time.Duration, len(members))
 	runShard := func(i int) {
 		starts[i] = time.Now()
-		calls[i], deltas[i] = e.detect(queries[members[i]], ievs[i])
+		calls[i], deltas[i] = e.detect(queries[members[i]], ievs[i], projs[i])
 		walls[i] = time.Since(starts[i])
 	}
 	if workers <= 1 {

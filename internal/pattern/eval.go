@@ -121,21 +121,54 @@ type Stats struct {
 	// include reuse across rounds — the work the incremental engine
 	// avoided.
 	MemoHits int
+	// SubtreesPruned counts document subtrees skipped wholesale by the
+	// type-based projection predicate during descendant enumeration.
+	// Zero when no Projector is installed.
+	SubtreesPruned int
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.NodesVisited += other.NodesVisited
 	s.MemoHits += other.MemoHits
+	s.SubtreesPruned += other.SubtreesPruned
+}
+
+// Projector is the type-based document-projection predicate (Benzaken,
+// Castagna, Colazzo & Nguyễn): CanMatchBelow(label, id) reports whether
+// an element named label can possibly contain — at the element itself or
+// anywhere below it — a match for the query subtree rooted at the query
+// node with the given ID. Descendant enumeration skips an element's
+// whole subtree when the predicate returns false.
+//
+// Implementations must be conservative: returning false for a subtree
+// that does contain a match makes evaluation unsound (results get lost).
+// The predicate must be built for the *same* Pattern the evaluator runs
+// (node IDs are meaningful only within one pattern), and its soundness
+// is relative to the document conforming to the schema it was derived
+// from. It must be safe for concurrent readers. The canonical
+// implementation is schema.Projection.
+type Projector interface {
+	CanMatchBelow(label string, queryNodeID int) bool
 }
 
 // Eval computes the snapshot result of q on doc: one Result per distinct
 // restriction of an embedding to the result nodes. The second return value
 // reports evaluation effort.
 func Eval(doc *tree.Document, q *Pattern) ([]Result, Stats) {
+	return EvalProjected(doc, q, nil)
+}
+
+// EvalProjected is Eval evaluating under a document projection: desc-axis
+// candidate walks skip subtrees proj proves statically irrelevant. With a
+// sound projector the results are identical to Eval's, computed over a
+// smaller working set; proj == nil disables projection.
+func EvalProjected(doc *tree.Document, q *Pattern, proj Projector) ([]Result, Stats) {
 	ev := newEvaluator(q)
-	sols := ev.matchChildren(q.Root(), rootScope{doc: doc})
-	return ev.finish(sols), Stats{NodesVisited: ev.visited, MemoHits: ev.hits}
+	ev.proj = proj
+	sink := newResultSink(q)
+	ev.streamChildren(q.Root(), rootScope{doc: doc}, sink.add)
+	return sink.out, ev.stats()
 }
 
 // EvalForest computes the snapshot result of q over a forest of detached
@@ -144,14 +177,22 @@ func Eval(doc *tree.Document, q *Pattern) ([]Result, Stats) {
 // node (descendant edge).
 func EvalForest(forest []*tree.Node, q *Pattern) ([]Result, Stats) {
 	ev := newEvaluator(q)
-	sols := ev.matchChildren(q.Root(), rootScope{forest: forest})
-	return ev.finish(sols), Stats{NodesVisited: ev.visited, MemoHits: ev.hits}
+	sink := newResultSink(q)
+	ev.streamChildren(q.Root(), rootScope{forest: forest}, sink.add)
+	return sink.out, ev.stats()
 }
 
-// HasEmbedding reports whether q has at least one embedding in doc.
+// HasEmbedding reports whether q has at least one embedding in doc. It
+// short-circuits: the streaming evaluator stops at the first complete
+// solution instead of materialising all of them.
 func HasEmbedding(doc *tree.Document, q *Pattern) bool {
-	rs, _ := Eval(doc, q)
-	return len(rs) > 0
+	ev := newEvaluator(q)
+	found := false
+	ev.streamChildren(q.Root(), rootScope{doc: doc}, func(solution) bool {
+		found = true
+		return false
+	})
+	return found
 }
 
 // MatchedCalls evaluates an extended query whose result node out is a
@@ -166,23 +207,32 @@ func MatchedCalls(doc *tree.Document, q *Pattern, out *Node) []*tree.Node {
 // MatchedCallsStats is MatchedCalls reporting the evaluation effort, for
 // the engine's accounting.
 func MatchedCallsStats(doc *tree.Document, q *Pattern, out *Node) ([]*tree.Node, Stats) {
-	rs, st := Eval(doc, q)
+	return MatchedCallsProjected(doc, q, out, nil)
+}
+
+// MatchedCallsProjected is MatchedCallsStats under a document projection
+// (see EvalProjected). proj == nil disables projection.
+func MatchedCallsProjected(doc *tree.Document, q *Pattern, out *Node, proj Projector) ([]*tree.Node, Stats) {
+	rs, st := EvalProjected(doc, q, proj)
 	return collectCalls(rs, out), st
 }
 
 // MatchedCallsPinned is MatchedCalls restricted to embeddings that map the
 // node pin to the document node target. The F-guide filtering of Section
-// 6.2 uses it to validate one candidate call at a time.
+// 6.2 uses it to validate one candidate call at a time. It short-circuits
+// on the first embedding that pins correctly.
 func MatchedCallsPinned(doc *tree.Document, q *Pattern, out *Node, target *tree.Node) bool {
 	ev := newEvaluator(q)
 	ev.pinID, ev.pinTarget = out.ID, target
-	sols := ev.matchChildren(q.Root(), rootScope{doc: doc})
-	for _, s := range sols {
+	found := false
+	ev.streamChildren(q.Root(), rootScope{doc: doc}, func(s solution) bool {
 		if s.caps[out.ID] == target {
-			return true
+			found = true
+			return false
 		}
-	}
-	return false
+		return true
+	})
+	return found
 }
 
 func collectCalls(rs []Result, out *Node) []*tree.Node {
@@ -212,22 +262,6 @@ func (s rootScope) childCandidates() []*tree.Node {
 		return []*tree.Node{s.doc.Root}
 	}
 	return s.forest
-}
-
-func (s rootScope) descCandidates() []*tree.Node {
-	var out []*tree.Node
-	for _, r := range s.childCandidates() {
-		r.Walk(func(n *tree.Node) bool {
-			out = append(out, n)
-			// The parameters of a call are the call's input, not
-			// document content: they only become query-visible if the
-			// call is invoked and happens to return them. Descendant
-			// enumeration therefore stops at call boundaries (pushed
-			// results have no element payload either).
-			return n.Kind != tree.Call && n.Kind != tree.Tuples
-		})
-	}
-	return out
 }
 
 // solution is one partial embedding: consistent variable bindings plus
@@ -334,11 +368,12 @@ type memoEntry struct {
 type evaluator struct {
 	q       *Pattern
 	memo    map[memoKey]*memoEntry
-	fps     map[int]string // query node ID → pushed-subquery fingerprint
-	desc    map[*tree.Node][]*tree.Node
+	fps     map[int]string  // query node ID → pushed-subquery fingerprint
 	order   map[int][]*Node // query node ID → cost-ordered children
+	proj    Projector       // nil: no document projection
 	visited int
 	hits    int
+	pruned  int
 
 	// Pinning restricts embeddings to those mapping query node pinID to
 	// pinTarget; used by MatchedCallsPinned. pinTarget == nil disables it.
@@ -351,40 +386,68 @@ func newEvaluator(q *Pattern) *evaluator {
 		q:    q,
 		memo: map[memoKey]*memoEntry{},
 		fps:  map[int]string{},
-		desc: map[*tree.Node][]*tree.Node{},
 	}
 }
 
-func (ev *evaluator) finish(sols []solution) []Result {
-	resultVars := map[string]bool{}
-	resultNodes := map[int]bool{}
-	for _, n := range ev.q.ResultNodes() {
+func (ev *evaluator) stats() Stats {
+	return Stats{NodesVisited: ev.visited, MemoHits: ev.hits, SubtreesPruned: ev.pruned}
+}
+
+// resultSink restricts streamed solutions to the query's result nodes and
+// deduplicates them by canonical key, preserving first-occurrence order —
+// the streaming counterpart of materialising all solutions and filtering
+// at the end.
+type resultSink struct {
+	resultVars  map[string]bool
+	resultNodes map[int]bool
+	seen        map[string]bool
+	out         []Result
+}
+
+func newResultSink(q *Pattern) *resultSink {
+	sink := &resultSink{
+		resultVars:  map[string]bool{},
+		resultNodes: map[int]bool{},
+		seen:        map[string]bool{},
+	}
+	for _, n := range q.ResultNodes() {
 		if n.Kind == Var {
-			resultVars[n.Label] = true
+			sink.resultVars[n.Label] = true
 		}
-		resultNodes[n.ID] = true
+		sink.resultNodes[n.ID] = true
 	}
-	seen := map[string]bool{}
-	var out []Result
+	return sink
+}
+
+func (sink *resultSink) add(s solution) bool {
+	r := Result{Values: map[string]string{}, Nodes: map[int]*tree.Node{}}
+	for k, v := range s.vars {
+		if sink.resultVars[k] {
+			r.Values[k] = v
+		}
+	}
+	for id, n := range s.caps {
+		if sink.resultNodes[id] {
+			r.Nodes[id] = n
+		}
+	}
+	k := r.Key()
+	if !sink.seen[k] {
+		sink.seen[k] = true
+		sink.out = append(sink.out, r)
+	}
+	return true
+}
+
+// collectResults drains a materialised solution set through a sink; the
+// retained naive evaluator uses it so both evaluators share one
+// restriction/deduplication definition.
+func collectResults(q *Pattern, sols []solution) []Result {
+	sink := newResultSink(q)
 	for _, s := range sols {
-		r := Result{Values: map[string]string{}, Nodes: map[int]*tree.Node{}}
-		for k, v := range s.vars {
-			if resultVars[k] {
-				r.Values[k] = v
-			}
-		}
-		for id, n := range s.caps {
-			if resultNodes[id] {
-				r.Nodes[id] = n
-			}
-		}
-		k := r.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, r)
-		}
+		sink.add(s)
 	}
-	return out
+	return sink.out
 }
 
 // fingerprint returns (and caches) the canonical form of the subquery
@@ -448,49 +511,75 @@ func (ev *evaluator) computeMatch(v *Node, n *tree.Node) []solution {
 	default:
 		return nil // Root never matches a concrete node
 	}
-	sols := ev.matchChildren(v, rootScope{forest: []*tree.Node{n}})
-	if sols == nil {
-		return nil
-	}
-	// Extend with v's own contribution.
-	out := sols[:0:0]
-	for _, s := range sols {
+	// Memo entries must hold the complete solution set (the incremental
+	// evaluator replays them across rounds), so the stream below v is
+	// drained here; laziness pays off above, where whole streams are
+	// abandoned early.
+	var out []solution
+	ev.streamChildren(v, rootScope{forest: []*tree.Node{n}}, func(s solution) bool {
 		if v.Kind == Var {
 			var ok bool
 			if s, ok = s.withVar(v.Label, n.Label); !ok {
-				continue
+				return true
 			}
 		}
 		if v.Result {
 			s = s.withCap(v.ID, n)
 		}
 		out = append(out, s)
-	}
+		return true
+	})
 	return dedupe(out)
 }
 
-// matchChildren embeds every child requirement of v, where v itself is
-// already mapped. The scope provides the candidate nodes: for a concrete
-// node it is that node's subtree; for the pattern anchor it is the
-// document root or forest.
+// streamChildren streams the joined solutions of every child requirement
+// of v, where v itself is already mapped, calling yield for each complete
+// combination; yield returning false stops the stream. It returns false
+// iff the stream was stopped early.
+//
+// The join pipelines: a partial solution flows through the remaining
+// requirements depth-first and no intermediate cross-product is ever
+// allocated. Each requirement's solution sequence is pulled lazily off
+// the document walk — candidates are matched one at a time, on demand,
+// and the deduplicated prefix is cached so re-scans for later partial
+// solutions never redo match work. Requirements stream in the same
+// cheapest-first order as the eager evaluator, so a fully-drained run
+// performs exactly the eager evaluator's match calls in the same order
+// (identical Stats), while a short-circuited run (HasEmbedding, pinned
+// validation) can abandon a document walk mid-subtree.
 //
 // For an anchor scope, candidates for a Child-edge requirement are the
 // scope's roots; for a concrete node they are its children. Descendant
 // requirements range over proper descendants (or all forest nodes for the
 // anchor).
-func (ev *evaluator) matchChildren(v *Node, scope rootScope) []solution {
-	sols := []solution{emptySolution}
-	for _, c := range ev.ordered(v) {
-		childSols := ev.requirementSolutions(c, v.Kind == Root, scope)
-		if len(childSols) == 0 {
-			return nil
+func (ev *evaluator) streamChildren(v *Node, scope rootScope, yield func(solution) bool) bool {
+	reqs := ev.ordered(v)
+	anchor := v.Kind == Root
+	if len(reqs) == 0 {
+		return yield(emptySolution)
+	}
+	streams := make([]*reqStream, len(reqs))
+	var emit func(i int, acc solution) bool
+	emit = func(i int, acc solution) bool {
+		if i == len(reqs) {
+			return yield(acc)
 		}
-		sols = joinSolutions(sols, childSols)
-		if len(sols) == 0 {
-			return nil
+		if streams[i] == nil {
+			streams[i] = ev.newReqStream(reqs[i], anchor, scope)
+		}
+		for j := 0; ; j++ {
+			s, ok := streams[i].get(j)
+			if !ok {
+				return true
+			}
+			if m, mok := merge(acc, s); mok {
+				if !emit(i+1, m) {
+					return false
+				}
+			}
 		}
 	}
-	return sols
+	return emit(0, emptySolution)
 }
 
 // ordered returns v's children cheapest-first, so a failing condition is
@@ -504,6 +593,15 @@ func (ev *evaluator) ordered(v *Node) []*Node {
 	if cached, ok := ev.order[v.ID]; ok {
 		return cached
 	}
+	out := costOrdered(v)
+	if ev.order == nil {
+		ev.order = map[int][]*Node{}
+	}
+	ev.order[v.ID] = out
+	return out
+}
+
+func costOrdered(v *Node) []*Node {
 	out := append([]*Node(nil), v.Children...)
 	cost := func(n *Node) int {
 		c := subtreeSize(n)
@@ -513,10 +611,6 @@ func (ev *evaluator) ordered(v *Node) []*Node {
 		return c
 	}
 	sort.SliceStable(out, func(i, j int) bool { return cost(out[i]) < cost(out[j]) })
-	if ev.order == nil {
-		ev.order = map[int][]*Node{}
-	}
-	ev.order[v.ID] = out
 	return out
 }
 
@@ -528,57 +622,170 @@ func subtreeSize(n *Node) int {
 	return s
 }
 
-// requirementSolutions embeds a single child requirement c within the
-// scope: candidates are the scope's children or descendants according to
-// c's edge, with pushed-result nodes contributing virtual matches.
-func (ev *evaluator) requirementSolutions(c *Node, anchor bool, scope rootScope) []solution {
-	var candidates []*tree.Node
+// reqStream is the lazily-pulled solution sequence of one child
+// requirement within one scope. Candidates stream off the document in
+// pre-order — a Child edge ranges over the scope's roots or children, a
+// Desc edge drives an explicit-stack walk of the subtrees — and each
+// candidate is matched at most once, with the deduplicated solution
+// prefix cached for re-scans by the join. Descendant walks skip
+// subtrees the projection predicate proves statically irrelevant for c,
+// and never descend below call boundaries: the parameters of a call are
+// the call's input, not document content — they only become
+// query-visible if the call is invoked and happens to return them
+// (pushed results have no element payload either).
+type reqStream struct {
+	ev   *evaluator
+	c    *Node
+	sols []solution      // deduplicated solutions pulled so far
+	seen map[string]bool // dedup keys; nil until a second solution shows up
+	done bool
+
+	roots   []*tree.Node // pending child-edge candidates (nil once consumed)
+	docRoot *tree.Node   // one-shot child-edge candidate (document anchor)
+	stack   []*tree.Node // desc-edge DFS stack, top at the end
+}
+
+func (ev *evaluator) newReqStream(c *Node, anchor bool, scope rootScope) *reqStream {
+	rs := &reqStream{ev: ev, c: c}
 	if c.Edge == Child {
 		if anchor {
-			candidates = scope.childCandidates()
-		} else {
-			candidates = scope.forest[0].Children
-		}
-	} else {
-		if anchor {
-			candidates = scope.descCandidates()
-		} else {
-			// Several query children commonly share a scope node;
-			// enumerate its descendants once per evaluation.
-			n := scope.forest[0]
-			if cached, ok := ev.desc[n]; ok {
-				candidates = cached
+			if scope.doc != nil {
+				rs.docRoot = scope.doc.Root
 			} else {
-				candidates = properDescendants(n)
-				ev.desc[n] = candidates
+				rs.roots = scope.forest
 			}
+		} else {
+			rs.roots = scope.forest[0].Children
 		}
+		return rs
 	}
-	var childSols []solution
-	for _, cand := range candidates {
-		if cand.Kind == tree.Tuples {
-			childSols = append(childSols, ev.tupleSolutions(c, cand)...)
+	// Descendant edge: the anchor ranges over the roots themselves and
+	// everything below; a concrete scope node over its proper
+	// descendants. Seed the stack in reverse so pops come in document
+	// order.
+	var roots []*tree.Node
+	if anchor {
+		if scope.doc != nil {
+			rs.stack = []*tree.Node{scope.doc.Root}
+			return rs
+		}
+		roots = scope.forest
+	} else {
+		roots = scope.forest[0].Children
+	}
+	rs.stack = make([]*tree.Node, 0, len(roots))
+	for i := len(roots) - 1; i >= 0; i-- {
+		rs.stack = append(rs.stack, roots[i])
+	}
+	return rs
+}
+
+// get returns the j-th deduplicated solution of the requirement, pulling
+// candidates off the document walk until it exists or the walk is
+// exhausted.
+func (rs *reqStream) get(j int) (solution, bool) {
+	for j >= len(rs.sols) && !rs.done {
+		rs.pull()
+	}
+	if j < len(rs.sols) {
+		return rs.sols[j], true
+	}
+	return solution{}, false
+}
+
+// pull advances the candidate walk by one node and folds its solutions
+// into the cache.
+func (rs *reqStream) pull() {
+	n := rs.nextCandidate()
+	if n == nil {
+		rs.done = true
+		return
+	}
+	if n.Kind == tree.Tuples {
+		for _, s := range tupleSolutions(rs.c, n, rs.ev.fingerprint) {
+			rs.add(s)
+		}
+		return
+	}
+	for _, s := range rs.ev.match(rs.c, n) {
+		rs.add(s)
+	}
+}
+
+func (rs *reqStream) nextCandidate() *tree.Node {
+	if rs.docRoot != nil {
+		n := rs.docRoot
+		rs.docRoot = nil
+		return n
+	}
+	if len(rs.roots) > 0 {
+		n := rs.roots[0]
+		rs.roots = rs.roots[1:]
+		return n
+	}
+	ev := rs.ev
+	for len(rs.stack) > 0 {
+		n := rs.stack[len(rs.stack)-1]
+		rs.stack = rs.stack[:len(rs.stack)-1]
+		if ev.proj != nil && n.Kind == tree.Element && !ev.proj.CanMatchBelow(n.Label, rs.c.ID) {
+			ev.pruned++
 			continue
 		}
-		childSols = append(childSols, ev.match(c, cand)...)
+		if n.Kind != tree.Call && n.Kind != tree.Tuples {
+			for i := len(n.Children) - 1; i >= 0; i-- {
+				rs.stack = append(rs.stack, n.Children[i])
+			}
+		}
+		return n
 	}
-	return dedupe(childSols)
+	return nil
+}
+
+// add appends s unless an equal solution was already pulled, preserving
+// first-occurrence order — the streaming equivalent of dedupe. Key
+// rendering starts only when a second solution appears, so the common
+// zero/one-solution requirement never pays for it.
+func (rs *reqStream) add(s solution) {
+	if rs.seen == nil {
+		if len(rs.sols) == 0 {
+			rs.sols = append(rs.sols, s)
+			return
+		}
+		rs.seen = map[string]bool{rs.sols[0].key(): true}
+	}
+	k := s.key()
+	if !rs.seen[k] {
+		rs.seen[k] = true
+		rs.sols = append(rs.sols, s)
+	}
+}
+
+// requirementSolutions drains the requirement's stream into a
+// materialised set — the entry point the residual matcher uses, where
+// candidate batches are validated jointly.
+func (ev *evaluator) requirementSolutions(c *Node, anchor bool, scope rootScope) []solution {
+	rs := ev.newReqStream(c, anchor, scope)
+	for !rs.done {
+		rs.pull()
+	}
+	return rs.sols
 }
 
 // tupleSolutions yields the virtual matches a pushed-result node provides
 // for query requirement c: one solution per binding tuple, when the node's
-// recorded subquery fingerprint equals c's.
-func (ev *evaluator) tupleSolutions(c *Node, n *tree.Node) []solution {
+// recorded subquery fingerprint equals c's. Both evaluators share it via
+// their fingerprint caches.
+func tupleSolutions(c *Node, n *tree.Node, fingerprint func(*Node) string) []solution {
 	// OR requirements delegate to their alternatives: the pushed query
 	// was one concrete subtree.
 	if c.Kind == Or {
 		var sols []solution
 		for _, alt := range c.Children {
-			sols = append(sols, ev.tupleSolutions(alt, n)...)
+			sols = append(sols, tupleSolutions(alt, n, fingerprint)...)
 		}
 		return sols
 	}
-	if n.PushedQuery == "" || n.PushedQuery != ev.fingerprint(c) {
+	if n.PushedQuery == "" || n.PushedQuery != fingerprint(c) {
 		return nil
 	}
 	sols := make([]solution, 0, len(n.PushedBindings))
@@ -590,30 +797,4 @@ func (ev *evaluator) tupleSolutions(c *Node, n *tree.Node) []solution {
 		sols = append(sols, s)
 	}
 	return sols
-}
-
-func joinSolutions(a, b []solution) []solution {
-	var out []solution
-	for _, sa := range a {
-		for _, sb := range b {
-			if m, ok := merge(sa, sb); ok {
-				out = append(out, m)
-			}
-		}
-	}
-	return dedupe(out)
-}
-
-// properDescendants enumerates the query-visible descendants of n: the
-// walk does not enter call parameters or pushed-result payloads (see
-// rootScope.descCandidates).
-func properDescendants(n *tree.Node) []*tree.Node {
-	var out []*tree.Node
-	for _, c := range n.Children {
-		c.Walk(func(x *tree.Node) bool {
-			out = append(out, x)
-			return x.Kind != tree.Call && x.Kind != tree.Tuples
-		})
-	}
-	return out
 }

@@ -36,6 +36,7 @@ type IncrementalEvaluator struct {
 
 	lastVisited int
 	lastHits    int
+	lastPruned  int
 	evictions   int
 }
 
@@ -43,11 +44,23 @@ type IncrementalEvaluator struct {
 // fallback with identical semantics is MatchedCallsStats (and Eval), which
 // builds a throwaway evaluator per call.
 func NewIncremental(q *Pattern) *IncrementalEvaluator {
+	return NewIncrementalProjected(q, nil)
+}
+
+// NewIncrementalProjected is NewIncremental with a document projection:
+// every evaluation prunes descendant walks through proj (see
+// EvalProjected). The projection predicate depends only on (element
+// label, query node), both stable across mutations, so memoised entries
+// and pruning decisions stay consistent across rounds. proj == nil
+// disables projection.
+func NewIncrementalProjected(q *Pattern, proj Projector) *IncrementalEvaluator {
 	ids := make([]int, 0, len(q.Nodes()))
 	for _, n := range q.Nodes() {
 		ids = append(ids, n.ID)
 	}
-	return &IncrementalEvaluator{q: q, ev: newEvaluator(q), qids: ids}
+	ev := newEvaluator(q)
+	ev.proj = proj
+	return &IncrementalEvaluator{q: q, ev: ev, qids: ids}
 }
 
 // Pattern returns the query this evaluator serves.
@@ -60,13 +73,7 @@ func (ie *IncrementalEvaluator) Pattern() *Pattern { return ie.q }
 // cover this call only: NodesVisited counts the matches actually
 // recomputed, MemoHits the ones answered from the persistent table.
 func (ie *IncrementalEvaluator) MatchedCallsIncremental(doc *tree.Document, out *Node) ([]*tree.Node, Stats) {
-	sols := ie.ev.matchChildren(ie.q.Root(), rootScope{doc: doc})
-	rs := ie.ev.finish(sols)
-	st := Stats{
-		NodesVisited: ie.ev.visited - ie.lastVisited,
-		MemoHits:     ie.ev.hits - ie.lastHits,
-	}
-	ie.lastVisited, ie.lastHits = ie.ev.visited, ie.ev.hits
+	rs, st := ie.EvalIncremental(doc)
 	return collectCalls(rs, out), st
 }
 
@@ -82,14 +89,15 @@ func (ie *IncrementalEvaluator) MatchedCallsIncremental(doc *tree.Document, out 
 // document; core.Evaluate remains the from-scratch oracle with identical
 // results.
 func (ie *IncrementalEvaluator) EvalIncremental(doc *tree.Document) ([]Result, Stats) {
-	sols := ie.ev.matchChildren(ie.q.Root(), rootScope{doc: doc})
-	rs := ie.ev.finish(sols)
+	sink := newResultSink(ie.q)
+	ie.ev.streamChildren(ie.q.Root(), rootScope{doc: doc}, sink.add)
 	st := Stats{
-		NodesVisited: ie.ev.visited - ie.lastVisited,
-		MemoHits:     ie.ev.hits - ie.lastHits,
+		NodesVisited:   ie.ev.visited - ie.lastVisited,
+		MemoHits:       ie.ev.hits - ie.lastHits,
+		SubtreesPruned: ie.ev.pruned - ie.lastPruned,
 	}
-	ie.lastVisited, ie.lastHits = ie.ev.visited, ie.ev.hits
-	return rs, st
+	ie.lastVisited, ie.lastHits, ie.lastPruned = ie.ev.visited, ie.ev.hits, ie.ev.pruned
+	return sink.out, st
 }
 
 // Invalidate reports one document mutation: the subtree rooted at removed
@@ -120,5 +128,4 @@ func (ie *IncrementalEvaluator) evict(n *tree.Node) {
 	for _, id := range ie.qids {
 		delete(ie.ev.memo, memoKey{qnode: id, dnode: n})
 	}
-	delete(ie.ev.desc, n)
 }

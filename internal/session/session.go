@@ -421,15 +421,15 @@ func (m *Manager) queryShared(e *entry, qtext string, q *pattern.Pattern) (*Resu
 			Bindings: cloneBindings(rs),
 			Complete: true,
 			Memo:     true,
-			Stats:    core.Stats{NodesVisited: st.NodesVisited, MemoHits: st.MemoHits},
+			Stats:    core.Stats{NodesVisited: st.NodesVisited, MemoHits: st.MemoHits, SubtreesPruned: st.SubtreesPruned},
 		}, nil
 	}
 
+	opts := m.options(e)
 	if e.ievs[qtext] == nil {
-		e.ievs[qtext] = pattern.NewIncremental(q)
+		e.ievs[qtext] = pattern.NewIncrementalProjected(q, m.sharedProjector(e, opts, q))
 	}
 
-	opts := m.options(e)
 	out, err := core.Evaluate(e.master, q, m.cfg.Registry, opts)
 	if err != nil {
 		return nil, err
@@ -477,6 +477,22 @@ func (m *Manager) options(e *entry) core.Options {
 		}
 	}
 	return opts
+}
+
+// sharedProjector derives the document-projection predicate for a
+// shared evaluator, mirroring the engine's own gating: schema resident,
+// typed strategy in effect, projection not disabled. The predicate
+// depends only on (schema, query), so it stays valid across master
+// mutations and is safe to bake into the long-lived evaluator.
+func (m *Manager) sharedProjector(e *entry, opts core.Options, q *pattern.Pattern) pattern.Projector {
+	if e.schema == nil || opts.NoProject || opts.Strategy != core.LazyNFQTyped {
+		return nil
+	}
+	proj := schema.NewProjection(e.schema, q, opts.SchemaMode)
+	if proj.Trivial() {
+		return nil
+	}
+	return proj
 }
 
 // isolatedOptions instantiates the engine template without the shared

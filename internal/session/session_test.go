@@ -180,6 +180,41 @@ func TestHammerSharedEvaluator(t *testing.T) {
 	}
 }
 
+// TestSharedProjectionEquivalence runs every (scenario, query) pair
+// through two managers — projection enabled and disabled — and demands
+// identical bindings and completeness, equal also to the serial oracle.
+// Each query runs twice per manager so the second answer exercises the
+// shared evaluator's memo fast path with the projected memo contents.
+func TestSharedProjectionEquivalence(t *testing.T) {
+	spec := suiteSpec()
+	oracleReg, oracleScenarios := workload.Suite(spec)
+	oracle := serialOracle(t, oracleReg, oracleScenarios, core.Options{Strategy: core.LazyNFQ, Incremental: true})
+
+	for _, noProject := range []bool{false, true} {
+		engine := core.Options{Strategy: core.LazyNFQ, Incremental: true, NoProject: noProject}
+		m, scenarios, _ := newSuiteManager(t, Config{Engine: engine, MaxActive: 4}, spec)
+		for _, sc := range scenarios {
+			for _, qsrc := range sc.Queries {
+				for pass := 0; pass < 2; pass++ {
+					res, err := m.Query(context.Background(), Request{
+						Tenant: "t", Document: sc.Name, Query: qsrc,
+					})
+					if err != nil {
+						t.Fatalf("noProject=%v %s %q pass %d: %v", noProject, sc.Name, qsrc, pass, err)
+					}
+					if !res.Complete {
+						t.Fatalf("noProject=%v %s %q pass %d: incomplete", noProject, sc.Name, qsrc, pass)
+					}
+					if got, want := canon(res.Bindings), oracle[sc.Name+"|"+qsrc]; got != want {
+						t.Fatalf("noProject=%v %s %q pass %d diverges from oracle:\n got %s\nwant %s",
+							noProject, sc.Name, qsrc, pass, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestDifferentialWidths is the 20-seed sweep: the same seeded query mix
 // evaluated multi-tenant at session widths 1, 2, 4 and 8 must be
 // bit-identical — bindings and completeness flags — to single-tenant
