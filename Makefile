@@ -1,6 +1,6 @@
 # Developer checks. `make check` is the full gate: static vetting, a
 # clean build, the whole suite under the race detector, and a short fuzz
-# smoke of both fuzz targets (seed corpora under testdata/fuzz always run
+# smoke of every fuzz target (seed corpora under testdata/fuzz always run
 # as plain tests).
 
 GO ?= go
@@ -26,17 +26,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/pattern/
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/tree/
 	$(GO) test -run '^$$' -fuzz FuzzProject -fuzztime $(FUZZTIME) ./internal/schema/
+	$(GO) test -run '^$$' -fuzz FuzzGuideCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/fguide/
 
 # bench records the perf trajectory: the root benchmark suite, the E10
-# incremental-evaluation, E11 invocation-pool and E13 streaming/projection
-# sweeps, and the E12 multi-tenant serving run, written to
-# BENCH_E{10,11,12,13}.json.
+# incremental-evaluation, E11 invocation-pool, E13 streaming/projection
+# and E14 warm-vs-cold repository sweeps, and the E12 multi-tenant
+# serving run, written to BENCH_E{10,11,12,13,14}.json.
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
 	$(GO) run ./cmd/axmlbench -exp E11 -json BENCH_E11.json
 	$(GO) run ./cmd/axmlload -self -clients 500 -requests 5000 -json BENCH_E12.json
 	$(GO) run ./cmd/axmlbench -exp E13 -json BENCH_E13.json
+	$(GO) run ./cmd/axmlbench -exp E14 -json BENCH_E14.json
 
 # loadsmoke replays a small oracle-verified mixed workload through an
 # in-process session server — the serving-layer gate in `make check`.

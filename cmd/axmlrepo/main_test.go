@@ -83,6 +83,60 @@ func TestQueryAndSaveAmortises(t *testing.T) {
 	}
 }
 
+func TestSchemaAndIndexSubcommands(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "repo")
+	file := worldFile(t)
+	w := workload.Hotels(workload.DefaultSpec())
+	schemaPath := filepath.Join(t.TempDir(), "hotels.schema")
+	if err := os.WriteFile(schemaPath, []byte(w.Schema.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := repoRun(t, dir, "-schema", schemaPath, "put", "hotels", file)
+	if code != 0 {
+		t.Fatalf("put -schema: %s", errOut)
+	}
+	if !strings.Contains(out, "indexed paths") {
+		t.Fatalf("put output: %s", out)
+	}
+
+	out, _, code = repoRun(t, dir, "index", "verify")
+	if code != 0 || !strings.Contains(out, "ok   hotels") {
+		t.Fatalf("index verify: %q (code %d)", out, code)
+	}
+	out, _, code = repoRun(t, dir, "index", "stats", "hotels")
+	if code != 0 || !strings.Contains(out, "schema") || !strings.Contains(out, "hotels/hotel/nearby") {
+		t.Fatalf("index stats: %q (code %d)", out, code)
+	}
+	out, _, code = repoRun(t, dir, "index", "build", "hotels")
+	if code != 0 || !strings.Contains(out, "indexed hotels") {
+		t.Fatalf("index build: %q (code %d)", out, code)
+	}
+
+	// Corrupt the on-disk index: verify must fail loudly, build must
+	// repair it, and a query in between still answers (degraded open).
+	guidePath := filepath.Join(dir, "hotels.fguide")
+	if err := os.WriteFile(guidePath, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code = repoRun(t, dir, "index", "verify", "hotels")
+	if code == 0 || !strings.Contains(out, "FAIL hotels") {
+		t.Fatalf("verify passed a corrupt index: %q (code %d)", out, code)
+	}
+	query := `/hotels/hotel[name="Best Western"][rating="*****"]/nearby//restaurant[rating="*****"][name=$X] -> $X`
+	out, errOut, code = repoRun(t, dir, "query", "hotels", query)
+	if code != 0 {
+		t.Fatalf("query over corrupt index failed: %s", errOut)
+	}
+	if !strings.Contains(out, "24 result(s)") {
+		t.Fatalf("query over corrupt index: %s", out)
+	}
+	// The degraded open repaired the entry in passing.
+	out, _, code = repoRun(t, dir, "index", "verify", "hotels")
+	if code != 0 {
+		t.Fatalf("index not repaired after degraded query: %q", out)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "repo")
 	cases := [][]string{

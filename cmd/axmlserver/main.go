@@ -51,10 +51,10 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/repo"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/session"
 	"github.com/activexml/axml/internal/soap"
-	"github.com/activexml/axml/internal/store"
 	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
@@ -136,10 +136,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	qcache.Instrument(metrics)
 	sessionReg := qcache.Wrap(session.LimitRegistry(suiteReg, *invokeLimit, metrics))
 
-	var st *store.Store
+	var rp *repo.Repo
 	if *docsDir != "" {
 		var err error
-		if st, err = store.Open(*docsDir); err != nil {
+		if rp, err = repo.Open(*docsDir); err != nil {
 			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
 			return 1
 		}
@@ -150,7 +150,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	mgr := session.NewManager(session.Config{
 		Registry:   sessionReg,
-		Store:      st,
+		Repo:       rp,
 		Metrics:    metrics,
 		Tracer:     tracer,
 		Engine:     core.Options{Strategy: core.LazyNFQ, Incremental: true, NoProject: *noProject},
@@ -161,16 +161,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		Clock:      clock,
 	})
 	for _, sc := range scenarios {
-		doc := sc.Doc
-		if st != nil && st.Exists(sc.Name) {
-			persisted, err := st.Get(sc.Name)
-			if err != nil {
+		// Persisted documents fault in through the repository: document,
+		// schema and F-guide all restored, the index warm from disk.
+		if rp != nil && rp.Exists(sc.Name) {
+			if err := mgr.Preload(sc.Name); err != nil {
 				fmt.Fprintf(stderr, "axmlserver: restore %s: %v\n", sc.Name, err)
 				return 1
 			}
-			doc = persisted
+			continue
 		}
-		if err := mgr.AddDocument(sc.Name, doc, sc.Schema); err != nil {
+		if err := mgr.AddDocument(sc.Name, sc.Doc, sc.Schema); err != nil {
 			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
 			return 1
 		}

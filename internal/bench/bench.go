@@ -127,6 +127,9 @@ type Scale struct {
 	// E13Nodes are the synthetic document sizes (total tree nodes) of
 	// the streaming/projection allocation sweep.
 	E13Nodes []int
+	// E14Sizes are the document sizes (#hotels) of the warm-vs-cold
+	// repository open sweep.
+	E14Sizes []int
 	// Metrics, when set, is threaded through every evaluation an
 	// experiment runs, accumulating detect/invoke latency histograms
 	// (cmd/axmlbench -json reports their quantiles). Nil disables.
@@ -152,6 +155,7 @@ func Quick() Scale {
 		E11Sizes:        []int{8},
 		E11Workers:      []int{1, 4},
 		E13Nodes:        []int{15000},
+		E14Sizes:        []int{40},
 	}
 }
 
@@ -172,6 +176,7 @@ func Full() Scale {
 		E11Sizes:        []int{16, 48},
 		E11Workers:      []int{1, 2, 4, 8},
 		E13Nodes:        []int{30000, 120000},
+		E14Sizes:        []int{40, 200, 1000},
 	}
 }
 
@@ -197,6 +202,7 @@ func All() []Experiment {
 		{"E10", "incremental evaluation and response caching cut re-evaluation work", E10},
 		{"E11", "the bounded invocation pool cuts HTTP wall time by the layer width", E11},
 		{"E13", "streaming evaluation and type-based projection cut allocation", E13},
+		{"E14", "the persistent index makes repository opens warm", E14},
 	}
 }
 

@@ -191,6 +191,24 @@ func TestE13AllocationRegression(t *testing.T) {
 	}
 }
 
+// TestE14WarmBeatsCold is the acceptance check of the persistent-index
+// experiment: the warm open (parse + decode) must be measurably faster
+// than the cold open (parse + rebuild + repair) — E14 itself already
+// fails on any result divergence between the two paths.
+func TestE14WarmBeatsCold(t *testing.T) {
+	tab, err := E14(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		warm := column(t, tab, r, "warm-open")
+		cold := column(t, tab, r, "cold-open")
+		if warm >= cold {
+			t.Fatalf("warm open (%vms) not faster than cold (%vms)\n%s", warm, cold, tab)
+		}
+	}
+}
+
 func TestByID(t *testing.T) {
 	if _, ok := ByID("E3"); !ok {
 		t.Fatal("E3 missing")

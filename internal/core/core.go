@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/activexml/axml/internal/fguide"
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
@@ -115,6 +116,16 @@ type Options struct {
 	// UseGuide accelerates relevance detection with an F-guide
 	// (Section 6.2).
 	UseGuide bool
+	// Guide, when set together with UseGuide, supplies a pre-built
+	// F-guide for the document — typically one decoded from a
+	// repository's persisted index (internal/repo) or kept warm by the
+	// session layer across evaluations. The engine adopts it when it
+	// describes this document and has incorporated every mutation
+	// (fguide.Synced); otherwise it falls back to building one. The
+	// engine maintains the adopted guide in place as calls expand, so
+	// the caller's guide stays synced and can be re-used or persisted
+	// after the run.
+	Guide *fguide.Guide
 	// Incremental keeps one persistent pattern evaluator per relevance
 	// query alive across the NFQA rounds: each round's re-evaluation
 	// reuses every memoised (query node, document node) match that the
@@ -182,14 +193,17 @@ type Options struct {
 	Tracer *telemetry.Tracer
 	// OnMutate, when set, is called synchronously after every document
 	// mutation the engine performs (a call subtree rooted at removed,
-	// detached from parent, replaced by the response forest) — the same
-	// notification the engine's own incremental evaluator shards receive.
-	// External holders of pattern.IncrementalEvaluator memos over the
-	// same document (the session layer's shared per-query evaluators)
-	// use it to Invalidate in lockstep, keeping their memos sound across
-	// engine runs. The callback runs on the engine goroutine and must
-	// not re-enter the engine.
-	OnMutate func(parent, removed *tree.Node)
+	// detached from parent, replaced by the inserted response forest) —
+	// the same notification the engine's own incremental evaluator
+	// shards receive. External holders of pattern.IncrementalEvaluator
+	// memos over the same document (the session layer's shared per-query
+	// evaluators) use it to Invalidate in lockstep, and holders of a
+	// persistent F-guide feed it to fguide.ApplyExpansion so the index
+	// is patched in place instead of rebuilt. The hook fires after the
+	// engine's own guide maintenance, so an adopted Options.Guide is
+	// already synced when it runs. The callback runs on the engine
+	// goroutine and must not re-enter the engine.
+	OnMutate func(parent, removed *tree.Node, inserted []*tree.Node)
 	// Metrics, when set, receives the engine's counters and log-scale
 	// latency histograms (metric names in doc/OBSERVABILITY.md:
 	// axml_evaluations_total, axml_detect_seconds, …). Instruments are

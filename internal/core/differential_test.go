@@ -7,6 +7,7 @@ import (
 
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/workload"
 )
 
@@ -141,6 +142,71 @@ func TestProjectionDifferentialSweep(t *testing.T) {
 	}
 	if prunedTotal == 0 {
 		t.Fatal("projection never pruned a subtree across the whole sweep")
+	}
+}
+
+// TestFilteredGuideDifferentialSweep is the acceptance net for
+// projection-aware F-guide construction: when the typed strategy builds
+// a guide under an active projection, whole regions the analysis proves
+// dead are left out of the index. Over 40 random worlds the filtered
+// guide must agree bit-for-bit with the unfiltered one (NoProject) AND
+// with the naive fixpoint, and must invoke exactly the same calls —
+// filtering may only drop index entries for calls no query node can
+// ever reach, never change what is relevant. The sweep also demands
+// that the filtered build path actually fired somewhere (observed via
+// the guide-build trace span), so a predicate that silently degrades to
+// unfiltered cannot fake a pass.
+func TestFilteredGuideDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential testing is not short")
+	}
+	filteredBuilds := 0
+	for seed := int64(0); seed < 40; seed++ {
+		spec := randomSpec(seed)
+		w := workload.Hotels(spec)
+		baseline, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, Options{Strategy: NaiveFixpoint})
+		if err != nil {
+			t.Fatalf("seed %d: naive failed: %v", seed, err)
+		}
+		want := resultKeys(baseline)
+		var outcomes [2]*Outcome
+		for i, noProject := range []bool{false, true} {
+			tr := telemetry.NewTracer(0)
+			opt := Options{
+				Strategy:  LazyNFQTyped,
+				Schema:    w.Schema,
+				UseGuide:  true,
+				NoProject: noProject,
+				Tracer:    tr,
+			}
+			out, err := Evaluate(w.Doc.Clone(), w.Query, w.Registry, opt)
+			if err != nil {
+				t.Fatalf("seed %d noProject=%v: %v", seed, noProject, err)
+			}
+			if got := resultKeys(out); got != want {
+				t.Fatalf("seed %d noProject=%v disagrees with naive\n got %q\nwant %q\nspec %+v",
+					seed, noProject, got, want, spec)
+			}
+			outcomes[i] = out
+			for _, s := range tr.Spans(tr.Len()) {
+				if s.Name != "guide-build" {
+					continue
+				}
+				if s.Attr("filtered") == "1" {
+					if noProject {
+						t.Fatalf("seed %d: NoProject run still built a filtered guide", seed)
+					}
+					filteredBuilds++
+				}
+			}
+		}
+		if a, b := outcomes[0].Stats.CallsInvoked, outcomes[1].Stats.CallsInvoked; a != b {
+			t.Fatalf("seed %d: filtered guide changed invocations: %d filtered, %d unfiltered",
+				seed, a, b)
+		}
+	}
+	if filteredBuilds == 0 {
+		t.Fatal("filtered guide construction never fired across the whole sweep")
 	}
 }
 

@@ -22,16 +22,18 @@ import (
 // allocation). All fields are nil when Options.Metrics is unset; the
 // nil instruments swallow updates.
 type coreMetrics struct {
-	evals      *telemetry.Counter
-	calls      *telemetry.Counter
-	pruned     *telemetry.Counter
-	retries    *telemetry.Counter
-	giveups    *telemetry.Counter
-	pushed     *telemetry.Counter
-	evalSecs   *telemetry.Histogram
-	detectSecs *telemetry.Histogram
-	invokeWall *telemetry.Histogram
-	invokeVirt *telemetry.Histogram
+	evals       *telemetry.Counter
+	calls       *telemetry.Counter
+	pruned      *telemetry.Counter
+	retries     *telemetry.Counter
+	giveups     *telemetry.Counter
+	pushed      *telemetry.Counter
+	guideBuilds *telemetry.Counter
+	guideWarm   *telemetry.Counter
+	evalSecs    *telemetry.Histogram
+	detectSecs  *telemetry.Histogram
+	invokeWall  *telemetry.Histogram
+	invokeVirt  *telemetry.Histogram
 }
 
 func resolveMetrics(reg *telemetry.Registry) coreMetrics {
@@ -39,16 +41,18 @@ func resolveMetrics(reg *telemetry.Registry) coreMetrics {
 		return coreMetrics{}
 	}
 	return coreMetrics{
-		evals:      reg.Counter(telemetry.MetricEvaluations),
-		calls:      reg.Counter(telemetry.MetricCallsInvoked),
-		pruned:     reg.Counter(telemetry.MetricCallsPruned),
-		retries:    reg.Counter(telemetry.MetricRetries),
-		giveups:    reg.Counter(telemetry.MetricGiveUps),
-		pushed:     reg.Counter(telemetry.MetricPushedCalls),
-		evalSecs:   reg.Histogram(telemetry.MetricEvalSeconds),
-		detectSecs: reg.Histogram(telemetry.MetricDetectSeconds),
-		invokeWall: reg.Histogram(telemetry.MetricInvokeWallSeconds),
-		invokeVirt: reg.Histogram(telemetry.MetricInvokeVirtualSeconds),
+		evals:       reg.Counter(telemetry.MetricEvaluations),
+		calls:       reg.Counter(telemetry.MetricCallsInvoked),
+		pruned:      reg.Counter(telemetry.MetricCallsPruned),
+		retries:     reg.Counter(telemetry.MetricRetries),
+		giveups:     reg.Counter(telemetry.MetricGiveUps),
+		pushed:      reg.Counter(telemetry.MetricPushedCalls),
+		guideBuilds: reg.Counter(telemetry.MetricGuideBuilds),
+		guideWarm:   reg.Counter(telemetry.MetricGuideWarm),
+		evalSecs:    reg.Histogram(telemetry.MetricEvalSeconds),
+		detectSecs:  reg.Histogram(telemetry.MetricDetectSeconds),
+		invokeWall:  reg.Histogram(telemetry.MetricInvokeWallSeconds),
+		invokeVirt:  reg.Histogram(telemetry.MetricInvokeVirtualSeconds),
 	}
 }
 
@@ -271,9 +275,30 @@ func (e *engine) runLazy() error {
 	analysisSpan.End()
 
 	if e.opt.UseGuide {
-		guideSpan := e.opt.Tracer.Start("guide-build", e.spanEval.ID())
-		e.guide = fguide.Build(e.doc)
-		guideSpan.End()
+		if g := e.opt.Guide; g != nil && g.Doc() == e.doc && fguide.Synced(g) {
+			// Warm path: adopt the caller's guide (decoded from a
+			// repository's persisted index, or kept in sync by the session
+			// layer) instead of rebuilding. The engine maintains it in
+			// place below, so it stays synced for the caller.
+			e.guide = g
+			e.met.guideWarm.Inc()
+		} else {
+			guideSpan := e.opt.Tracer.Start("guide-build", e.spanEval.ID())
+			if keep := e.guideKeep(base); keep != nil {
+				// Projection-aware construction: regions no relevance
+				// query of this evaluation can match into are never
+				// indexed, so the guide is proportional to the projected
+				// document. Sound for exactly this query — such a guide
+				// is engine-local and never handed back or persisted.
+				e.guide = fguide.BuildFiltered(e.doc, keep)
+				guideSpan.SetInt("filtered", 1)
+			} else {
+				e.guide = fguide.Build(e.doc)
+			}
+			e.met.guideBuilds.Inc()
+			guideSpan.SetInt("paths", int64(e.guide.Paths()))
+			guideSpan.End()
+		}
 	}
 
 	done := map[int]bool{}
@@ -593,6 +618,45 @@ func asProjector(p *schema.Projection) pattern.Projector {
 		return nil
 	}
 	return p
+}
+
+// guideKeep derives the label filter for projection-aware guide
+// construction: keep a label exactly when at least one relevance query
+// of this evaluation could match inside elements carrying it (the
+// disjunction of the per-NFQ projections — the guide serves every NFQ,
+// so only a region dead for all of them may go unindexed; a call the
+// filter drops could never survive detect's residual matcher). Returns
+// nil (index everything) without typed projection, or when any query's
+// projection is absent or trivial and filtering could lose candidates
+// or buy nothing. Relevance queries regenerated in later rounds only
+// drop branches of the base set, so the base projections stay sound for
+// the whole evaluation.
+func (e *engine) guideKeep(base []*rewrite.NFQ) func(string) bool {
+	if e.userProj == nil {
+		return nil
+	}
+	if e.projs == nil {
+		e.projs = map[*rewrite.NFQ]*schema.Projection{}
+	}
+	projs := make([]*schema.Projection, 0, len(base))
+	for _, nfq := range base {
+		p := e.projection(nfq)
+		if p == nil || p.Trivial() {
+			return nil
+		}
+		projs = append(projs, p)
+	}
+	if len(projs) == 0 {
+		return nil
+	}
+	return func(label string) bool {
+		for _, p := range projs {
+			if p.CanMatchAnyBelow(label) {
+				return true
+			}
+		}
+		return false
+	}
 }
 
 // detect retrieves the calls currently relevant for one NFQ: by direct
@@ -1029,16 +1093,6 @@ func (e *engine) apply(call *tree.Node, resp service.Response, wasPushed bool) {
 		e.guide.Remove(call)
 	}
 	inserted := e.doc.ReplaceCall(call, resp.Forest)
-	// Every live evaluator shard drops the memo entries this splice can
-	// have changed: the removed call subtree and the root-to-parent
-	// spine. Everything off the spine keeps its memo (solutions depend
-	// only on the keyed node's subtree).
-	for _, iev := range e.incr {
-		iev.Invalidate(parent, call)
-	}
-	if e.opt.OnMutate != nil {
-		e.opt.OnMutate(parent, call)
-	}
 	for _, n := range inserted {
 		if e.guide != nil {
 			e.guide.AddSubtree(n)
@@ -1050,6 +1104,24 @@ func (e *engine) apply(call *tree.Node, resp service.Response, wasPushed bool) {
 			}
 			return true
 		})
+	}
+	if e.guide != nil {
+		// An empty response forest triggers no Add, which would leave the
+		// guide's version behind the splice's bump; the engine witnessed
+		// the whole mutation, so the guide is in fact current.
+		e.guide.MarkSynced()
+	}
+	// Every live evaluator shard drops the memo entries this splice can
+	// have changed: the removed call subtree and the root-to-parent
+	// spine. Everything off the spine keeps its memo (solutions depend
+	// only on the keyed node's subtree).
+	for _, iev := range e.incr {
+		iev.Invalidate(parent, call)
+	}
+	// OnMutate fires last, after the engine's own guide maintenance: an
+	// external holder of the adopted guide observes it already synced.
+	if e.opt.OnMutate != nil {
+		e.opt.OnMutate(parent, call, inserted)
 	}
 	e.stats.CallsInvoked++
 	e.stats.BytesFetched += resp.Bytes

@@ -491,18 +491,22 @@ func TestCompletenessInvariant(t *testing.T) {
 }
 
 // TestOnMutateObservesEveryReplacement checks the Options.OnMutate hook:
-// it fires once per successful invocation, with the removed call node and
-// its pre-splice parent — enough for an external IncrementalEvaluator to
-// Invalidate in lockstep with the engine's own shards.
+// it fires once per successful invocation, with the removed call node,
+// its pre-splice parent and the inserted forest — enough for an external
+// IncrementalEvaluator to Invalidate in lockstep with the engine's own
+// shards, and for an external F-guide to ApplyExpansion.
 func TestOnMutateObservesEveryReplacement(t *testing.T) {
 	w := workload.Hotels(workload.DefaultSpec())
 	doc := w.Doc.Clone()
-	type mut struct{ parent, removed *tree.Node }
+	type mut struct {
+		parent, removed *tree.Node
+		inserted        []*tree.Node
+	}
 	var muts []mut
 	out, err := Evaluate(doc, w.Query, w.Registry, Options{
 		Strategy: LazyNFQ,
-		OnMutate: func(parent, removed *tree.Node) {
-			muts = append(muts, mut{parent, removed})
+		OnMutate: func(parent, removed *tree.Node, inserted []*tree.Node) {
+			muts = append(muts, mut{parent, removed, inserted})
 		},
 	})
 	if err != nil {
@@ -518,6 +522,11 @@ func TestOnMutateObservesEveryReplacement(t *testing.T) {
 		if m.parent == nil {
 			t.Fatalf("mutation %d: nil parent", i)
 		}
+		for _, n := range m.inserted {
+			if n.Parent != m.parent {
+				t.Fatalf("mutation %d: inserted root not attached under parent", i)
+			}
+		}
 	}
 	// The hook sees mutations on the document being evaluated: keeping an
 	// external incremental evaluator in sync must reproduce Eval exactly.
@@ -526,7 +535,7 @@ func TestOnMutateObservesEveryReplacement(t *testing.T) {
 	ie.EvalIncremental(doc2)
 	out2, err := Evaluate(doc2, w.Query, w.Registry, Options{
 		Strategy: LazyNFQ,
-		OnMutate: func(parent, removed *tree.Node) { ie.Invalidate(parent, removed) },
+		OnMutate: func(parent, removed *tree.Node, _ []*tree.Node) { ie.Invalidate(parent, removed) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -44,6 +44,20 @@ type gnode struct {
 // Build constructs the F-guide of the document in a single document-order
 // traversal (linear time, as the paper notes).
 func Build(doc *tree.Document) *Guide {
+	return BuildFiltered(doc, nil)
+}
+
+// BuildFiltered constructs the F-guide while skipping every element
+// subtree whose label the keep predicate rejects — the projection-aware
+// construction: regions a type-based projection proves irrelevant for
+// the query at hand are never indexed, so the guide stays proportional
+// to the projected document. A nil keep indexes everything (Build).
+//
+// Soundness mirrors the projection's: a skipped subtree must be one no
+// relevance query of the driving user query can match into, so the calls
+// under it can never be retrieved as relevant. The resulting guide is a
+// restriction of the full guide; every Candidates answer is a subset.
+func BuildFiltered(doc *tree.Document, keep func(label string) bool) *Guide {
 	g := &Guide{
 		doc:     doc,
 		root:    &gnode{children: map[string]*gnode{}},
@@ -59,6 +73,9 @@ func Build(doc *tree.Document) *Guide {
 		if n.Kind != tree.Element {
 			return
 		}
+		if keep != nil && !keep(n.Label) {
+			return
+		}
 		next := g.child(at, n.Label)
 		for _, c := range n.Children {
 			walk(c, next)
@@ -69,6 +86,9 @@ func Build(doc *tree.Document) *Guide {
 	g.prune(g.root)
 	return g
 }
+
+// Doc returns the document this guide indexes.
+func (g *Guide) Doc() *tree.Document { return g.doc }
 
 // child returns (creating if needed) the trie child for a label.
 func (g *Guide) child(at *gnode, label string) *gnode {
@@ -127,9 +147,15 @@ func (g *Guide) Remove(call *tree.Node) {
 
 // Add registers a function node newly inserted into the document (e.g.
 // found in a call result). The node must be attached to the document.
+// Adding an already-indexed call is a no-op, so maintenance paths that
+// may overlap (the engine's in-place upkeep and a repository's
+// ApplyExpansion hook) compose without duplicating extents.
 func (g *Guide) Add(call *tree.Node) {
 	if call.Kind != tree.Call {
 		panic("fguide: Add of a non-call node")
+	}
+	if _, dup := g.where[call]; dup {
+		return
 	}
 	at := g.root
 	path := call.Path()
@@ -150,6 +176,45 @@ func (g *Guide) AddSubtree(n *tree.Node) {
 		return x.Kind == tree.Element
 	})
 }
+
+// ApplyExpansion incorporates one call expansion (Document.ReplaceCall
+// of removed under parent, splicing in the inserted forest) into the
+// guide: the expanded call leaves the index and every function node of
+// the inserted trees enters it. It is the incremental update path a
+// persistent index uses instead of a full rebuild, and it is idempotent
+// — applying an expansion the engine's own in-place upkeep already
+// performed only resynchronises the version stamp.
+//
+// When the caller no longer knows the inserted roots (inserted nil), the
+// whole subtree under parent is rescanned for unindexed calls — a
+// bounded fallback, linear in the parent's subtree rather than the
+// document.
+func (g *Guide) ApplyExpansion(parent, removed *tree.Node, inserted []*tree.Node) {
+	if removed != nil && removed.Kind == tree.Call {
+		g.Remove(removed)
+	}
+	if inserted != nil {
+		for _, n := range inserted {
+			g.AddSubtree(n)
+		}
+	} else if parent != nil {
+		parent.Walk(func(x *tree.Node) bool {
+			if x.Kind == tree.Call {
+				g.Add(x)
+				return false
+			}
+			return x == parent || x.Kind == tree.Element
+		})
+	}
+	g.MarkSynced()
+}
+
+// MarkSynced stamps the guide as having incorporated every mutation of
+// its document up to now. Maintenance paths that track mutations exactly
+// (the engine's Remove/AddSubtree upkeep) call it after a splice whose
+// version bumps they witnessed in full, e.g. an expansion whose result
+// forest was empty and therefore triggered no Add.
+func (g *Guide) MarkSynced() { g.version = g.doc.Version() }
 
 // Synced reports whether the guide has incorporated every document
 // mutation (its version matches the document's).

@@ -78,6 +78,30 @@ func (p *Projection) CanMatchBelow(label string, id int) bool {
 	return p.an.desc[si][id]
 }
 
+// CanMatchAnyBelow reports whether an element labelled label can
+// contain a match of ANY query subtree, at the element or anywhere
+// below — the disjunction of CanMatchBelow over every non-root query
+// node. When it answers false the element's whole region is dead for
+// this query: no query node can match inside it, so an index over call
+// positions (the F-guide) may skip the region entirely without losing a
+// candidate. Conservative like CanMatchBelow: unknown labels answer
+// true.
+func (p *Projection) CanMatchAnyBelow(label string) bool {
+	si, ok := p.an.symIndex[label]
+	if !ok || !p.an.schema.IsElement(label) {
+		return true
+	}
+	for _, v := range p.an.q.Nodes() {
+		if v.Kind == pattern.Root {
+			continue
+		}
+		if p.an.desc[si][v.ID] {
+			return true
+		}
+	}
+	return false
+}
+
 // Trivial reports that no (element, query node) pair is prunable: the
 // projection can never skip a subtree, so installing it buys nothing.
 // Callers use it to skip the per-node predicate on schemas too loose to

@@ -36,7 +36,9 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/fguide"
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/repo"
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/store"
@@ -68,9 +70,18 @@ type Config struct {
 	// shared cache/limiter stack before handing it over (see NewManager's
 	// default) or pre-compose your own.
 	Registry *service.Registry
-	// Store, when set, backs the document repository: documents not yet
-	// resident are loaded from it on first query, and Drain persists
-	// every master back. Nil keeps the repository memory-only.
+	// Repo, when set, backs the document repository with the persistent
+	// indexed store of internal/repo: documents not yet resident are
+	// loaded from it on first query together with their persisted schema
+	// and F-guide (so a restarted server serves queries from the warm
+	// index, no rebuild), and Drain persists every master back with its
+	// incrementally maintained index. Nil keeps the repository
+	// memory-only unless Store is set.
+	Repo *repo.Repo
+	// Store, when set and Repo is nil, is wrapped into an indexed
+	// repository over the same directory (repo.Over) — the upgrade path
+	// for configurations predating internal/repo. Flat-store entries
+	// open cold once and are repaired to indexed form.
 	Store *store.Store
 	// Metrics receives the session counters, gauges and latency
 	// histograms (axml_sessions_*); nil disables them.
@@ -168,6 +179,11 @@ type Manager struct {
 	cfg   Config
 	adm   *admission
 	clock func() service.Clock
+	// repo is the resolved persistence backend (cfg.Repo, or cfg.Store
+	// wrapped); nil means memory-only. repoErr carries a Store-wrapping
+	// failure, surfaced when persistence is actually needed.
+	repo    *repo.Repo
+	repoErr error
 
 	mu      sync.Mutex // guards entries and tenants maps
 	entries map[string]*entry
@@ -186,8 +202,9 @@ type Manager struct {
 	mQueueSecs *telemetry.Histogram
 }
 
-// entry is one resident document: the shared master, its schema, the
-// per-query incremental evaluators and the completeness ledger.
+// entry is one resident document: the shared master, its schema, its
+// F-guide, the per-query incremental evaluators and the completeness
+// ledger.
 type entry struct {
 	name   string
 	schema *schema.Schema
@@ -195,6 +212,12 @@ type entry struct {
 	mu      sync.RWMutex // write: shared-mode evaluation; read: clone for isolated mode
 	master  *tree.Document
 	version uint64 // bumped on every master mutation
+	// guide is the master's F-guide, restored warm from the repository
+	// or built once at registration; the OnMutate hook patches it in
+	// lockstep with engine splices, so it is always synced and Drain can
+	// persist it without a rebuild. Nil when neither the repository nor
+	// the engine template wants one.
+	guide *fguide.Guide
 
 	queries  map[string]*pattern.Pattern              // parsed query cache
 	ievs     map[string]*pattern.IncrementalEvaluator // shared memo per query text
@@ -228,10 +251,19 @@ func NewManager(cfg Config) *Manager {
 	if clock == nil {
 		clock = func() service.Clock { return &service.SimClock{} }
 	}
+	rp, repoErr := cfg.Repo, error(nil)
+	if rp == nil && cfg.Store != nil {
+		rp, repoErr = repo.Over(cfg.Store)
+	}
+	if rp != nil && cfg.Metrics != nil {
+		rp.Instrument(cfg.Metrics)
+	}
 	m := &Manager{
 		cfg:     cfg,
 		adm:     newAdmission(int64(cfg.MaxActive), cfg.MaxQueued),
 		clock:   clock,
+		repo:    rp,
+		repoErr: repoErr,
 		entries: map[string]*entry{},
 		tenants: map[string]*TenantStats{},
 
@@ -264,10 +296,26 @@ func (m *Manager) AddDocument(name string, doc *tree.Document, sch *schema.Schem
 		ievs:     map[string]*pattern.IncrementalEvaluator{},
 		complete: map[string]uint64{},
 	}
+	if m.cfg.Engine.UseGuide || m.repo != nil {
+		// Build the master's guide once at registration; every query then
+		// opens warm and the OnMutate hook keeps it patched, so neither
+		// the engine nor Drain ever rebuilds it.
+		e.guide = fguide.Build(doc)
+		m.cfg.Metrics.Counter(telemetry.MetricGuideBuilds).Inc()
+	}
 	m.mu.Lock()
 	m.entries[name] = e
 	m.mu.Unlock()
 	return nil
+}
+
+// Preload faults a persisted document into residency without running a
+// query — servers call it at startup so the first tenant query finds a
+// warm entry (document, schema and index all restored). Preloading an
+// unknown name returns UnknownDocumentError.
+func (m *Manager) Preload(name string) error {
+	_, err := m.lookup(name)
+	return err
 }
 
 // Documents lists the resident document names, sorted.
@@ -282,10 +330,11 @@ func (m *Manager) Documents() []string {
 	return out
 }
 
-// lookup returns the entry for name, faulting it in from the store when
-// backed and absent. Store-faulted entries carry no schema (the store
-// persists documents only), so they evaluate untyped until AddDocument
-// re-registers them with signatures.
+// lookup returns the entry for name, faulting it in from the backing
+// repository when absent. Repository-faulted entries arrive complete: a
+// persisted schema restores typed pruning and a persisted F-guide opens
+// warm (decoded, not rebuilt), so a restarted server picks up exactly
+// where the one that drained left off.
 func (m *Manager) lookup(name string) (*entry, error) {
 	m.mu.Lock()
 	e := m.entries[name]
@@ -293,10 +342,13 @@ func (m *Manager) lookup(name string) (*entry, error) {
 	if e != nil {
 		return e, nil
 	}
-	if m.cfg.Store == nil || !m.cfg.Store.Exists(name) {
+	if m.repoErr != nil {
+		return nil, fmt.Errorf("session: repository unavailable: %w", m.repoErr)
+	}
+	if m.repo == nil || !m.repo.Exists(name) {
 		return nil, &UnknownDocumentError{Name: name}
 	}
-	doc, err := m.cfg.Store.Get(name)
+	o, err := m.repo.Get(name)
 	if err != nil {
 		return nil, fmt.Errorf("session: load %q: %w", name, err)
 	}
@@ -307,7 +359,9 @@ func (m *Manager) lookup(name string) (*entry, error) {
 	}
 	e = &entry{
 		name:     name,
-		master:   doc,
+		schema:   o.Schema,
+		master:   o.Doc,
+		guide:    o.Guide,
 		queries:  map[string]*pattern.Pattern{},
 		ievs:     map[string]*pattern.IncrementalEvaluator{},
 		complete: map[string]uint64{},
@@ -464,14 +518,24 @@ func (m *Manager) queryIsolated(e *entry, q *pattern.Pattern) (*Result, error) {
 }
 
 // options instantiates the engine template for one shared-mode query:
-// fresh clock, shared telemetry, the entry's schema, and the OnMutate
-// hook that keeps every shared evaluator's memo and the completeness
-// ledger in lockstep with the engine's splices. Must be called with
-// e.mu write-held (the hook mutates entry state).
+// fresh clock, shared telemetry, the entry's schema and warm guide, and
+// the OnMutate hook that keeps every shared evaluator's memo, the
+// entry's F-guide and the completeness ledger in lockstep with the
+// engine's splices. Must be called with e.mu write-held (the hook
+// mutates entry state).
 func (m *Manager) options(e *entry) core.Options {
 	opts := m.isolatedOptions(e)
-	opts.OnMutate = func(parent, removed *tree.Node) {
+	opts.Guide = e.guide
+	patches := m.cfg.Metrics.Counter(telemetry.MetricGuidePatches)
+	opts.OnMutate = func(parent, removed *tree.Node, inserted []*tree.Node) {
 		e.version++
+		if e.guide != nil {
+			// Patch the persistent index in place. When the engine adopted
+			// this guide (UseGuide) it already performed the identical
+			// update; ApplyExpansion is idempotent and only resyncs then.
+			e.guide.ApplyExpansion(parent, removed, inserted)
+			patches.Inc()
+		}
 		for _, iev := range e.ievs {
 			iev.Invalidate(parent, removed)
 		}
@@ -496,13 +560,15 @@ func (m *Manager) sharedProjector(e *entry, opts core.Options, q *pattern.Patter
 }
 
 // isolatedOptions instantiates the engine template without the shared
-// mutation hook (clones have no shared state to maintain).
+// mutation hook (clones have no shared state to maintain — and no warm
+// guide: the entry's guide describes the master, not the clone).
 func (m *Manager) isolatedOptions(e *entry) core.Options {
 	opts := m.cfg.Engine
 	opts.Clock = m.clock()
 	opts.Metrics = m.cfg.Metrics
 	opts.Tracer = m.cfg.Tracer
 	opts.OnMutate = nil
+	opts.Guide = nil
 	// Schema residency decides typing: refine the lazy strategies when
 	// the document carries signatures, degrade gracefully when not.
 	opts.Schema = e.schema
@@ -571,13 +637,15 @@ func (m *Manager) Stats() Stats {
 
 // Drain shuts the manager down: new and queued queries are refused with
 // ErrDraining while active ones run to completion (or ctx expires), then
-// every master document is persisted to the store when one is configured.
+// every master document is persisted to the repository when one is
+// configured — together with its schema and its incrementally maintained
+// F-guide, so the next process opens every document warm.
 func (m *Manager) Drain(ctx context.Context) error {
 	if err := m.adm.drain(ctx); err != nil {
 		return err
 	}
-	if m.cfg.Store == nil {
-		return nil
+	if m.repo == nil {
+		return m.repoErr
 	}
 	m.mu.Lock()
 	entries := make([]*entry, 0, len(m.entries))
@@ -588,7 +656,11 @@ func (m *Manager) Drain(ctx context.Context) error {
 	var firstErr error
 	for _, e := range entries {
 		e.mu.RLock()
-		err := m.cfg.Store.Put(e.name, e.master)
+		opts := repo.PutOptions{Schema: e.schema}
+		if e.guide != nil && e.guide.Doc() == e.master && fguide.Synced(e.guide) {
+			opts.Guide = e.guide // persisted as patched, no rebuild
+		}
+		err := m.repo.Put(e.name, e.master, opts)
 		e.mu.RUnlock()
 		if err != nil && firstErr == nil {
 			firstErr = err

@@ -54,8 +54,10 @@ func Open(dir string) (*Store, error) {
 // Dir returns the repository root.
 func (s *Store) Dir() string { return s.dir }
 
-// validName guards against path traversal and unusable names.
-func validName(name string) error {
+// ValidName guards against path traversal and unusable names. It is the
+// shared naming contract of every layer that maps document names to
+// files (this package and internal/repo).
+func ValidName(name string) error {
 	if name == "" {
 		return fmt.Errorf("store: empty document name")
 	}
@@ -79,7 +81,7 @@ func (s *Store) path(name string) string {
 // Put stores the document under the given name, atomically replacing any
 // previous version.
 func (s *Store) Put(name string, doc *tree.Document) error {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return err
 	}
 	data, err := tree.MarshalIndent(doc.Root)
@@ -89,39 +91,48 @@ func (s *Store) Put(name string, doc *tree.Document) error {
 	data = append(data, '\n')
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	tmp, err := os.CreateTemp(s.dir, "."+name+".tmp-*")
-	if err != nil {
+	if err := WriteFileAtomic(s.dir, name+Extension, data, s.Sync); err != nil {
 		return fmt.Errorf("store: put %s: %w", name, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to dir/filename through a temp file and a
+// rename, so readers only ever see the old or the new content. With sync
+// set the write is also durable: rename alone only orders the directory
+// entry, not the data — after a crash the new name can point at an empty
+// or partial file — so the temp file is fsynced before it becomes
+// reachable and the directory after, putting the rename itself on stable
+// storage. Exported for the layers above the flat store (internal/repo)
+// that persist sidecar files with the same guarantees.
+func WriteFileAtomic(dir, filename string, data []byte, sync bool) error {
+	tmp, err := os.CreateTemp(dir, "."+filename+".tmp-*")
+	if err != nil {
+		return err
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("store: put %s: %w", name, err)
+		return err
 	}
-	// Rename alone only orders the directory entry, not the data: after
-	// a crash the new name can point at an empty or partial file. Fsync
-	// the data before it becomes reachable, and the directory after, so
-	// the rename itself is on stable storage.
-	if s.Sync {
+	if sync {
 		if err := tmp.Sync(); err != nil {
 			tmp.Close()
 			os.Remove(tmpName)
-			return fmt.Errorf("store: put %s: %w", name, err)
+			return err
 		}
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: put %s: %w", name, err)
+		return err
 	}
-	if err := os.Rename(tmpName, s.path(name)); err != nil {
+	if err := os.Rename(tmpName, filepath.Join(dir, filename)); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("store: put %s: %w", name, err)
+		return err
 	}
-	if s.Sync {
-		if err := syncDir(s.dir); err != nil {
-			return fmt.Errorf("store: put %s: %w", name, err)
-		}
+	if sync {
+		return syncDir(dir)
 	}
 	return nil
 }
@@ -143,7 +154,7 @@ func syncDir(dir string) error {
 
 // Get loads a document by name.
 func (s *Store) Get(name string) (*tree.Document, error) {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return nil, err
 	}
 	s.mu.RLock()
@@ -161,7 +172,7 @@ func (s *Store) Get(name string) (*tree.Document, error) {
 
 // Exists reports whether a document is stored under the name.
 func (s *Store) Exists(name string) bool {
-	if validName(name) != nil {
+	if ValidName(name) != nil {
 		return false
 	}
 	s.mu.RLock()
@@ -172,7 +183,7 @@ func (s *Store) Exists(name string) bool {
 
 // Delete removes a stored document; deleting a missing document errors.
 func (s *Store) Delete(name string) error {
-	if err := validName(name); err != nil {
+	if err := ValidName(name); err != nil {
 		return err
 	}
 	s.mu.Lock()

@@ -63,6 +63,21 @@ const (
 	MetricSessionQueueSeconds = "axml_session_queue_seconds"
 	MetricInvokeInflight      = "axml_invocations_inflight"
 
+	// F-guide lifecycle (internal/core, internal/session). Builds counts
+	// full constructions (cold paths), Warm counts engine runs that
+	// reused an externally supplied guide, Patches counts incremental
+	// ApplyExpansion updates — a warm restart shows Warm > 0 with Builds
+	// staying at 0.
+	MetricGuideBuilds  = "axml_fguide_builds_total"
+	MetricGuideWarm    = "axml_fguide_warm_total"
+	MetricGuidePatches = "axml_fguide_patches_total"
+
+	// Persistent indexed repository (internal/repo).
+	MetricRepoWarmOpens   = "axml_repo_warm_opens_total"
+	MetricRepoRebuilds    = "axml_repo_index_rebuilds_total"
+	MetricRepoRepairs     = "axml_repo_index_repairs_total"
+	MetricRepoCorruptions = "axml_repo_corruptions_total"
+
 	// HTTP transport (internal/soap).
 	MetricHTTPRequests       = "axml_http_requests_total"
 	MetricHTTPFaults         = "axml_http_faults_total"
