@@ -42,6 +42,7 @@ import (
 
 	"github.com/activexml/axml/internal/core"
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/profile"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/session"
 	"github.com/activexml/axml/internal/telemetry"
@@ -137,12 +138,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxQueued   = fs.Int("max-queued", 0, "self server: admission queue budget (0 = 4x max-active, negative = none)")
 		invokeLimit = fs.Int("invoke-limit", 16, "self server: bound on in-flight service invocations")
 		retryAfter  = fs.Duration("retry-after", 500*time.Millisecond, "self server: backoff hint on shed responses")
+		traceOut    = fs.String("trace-out", "", "self server: stream its telemetry spans to this file as JSONL")
+		statsOut    = fs.String("stats-out", "", "write the per-service statistics profile snapshot to this file after the run (self server or a live server's /stats/services)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if (*url == "") == !*self {
 		fmt.Fprintln(stderr, "axmlload: need exactly one of -url or -self")
+		return 2
+	}
+	if *traceOut != "" && !*self {
+		fmt.Fprintln(stderr, "axmlload: -trace-out needs -self (a live server has its own -trace-out)")
 		return 2
 	}
 	if *clients < 1 || *requests < 1 || *tenants < 1 {
@@ -190,19 +197,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	base := *url
+	var ss *selfServer
 	if *self {
-		srv, addr, err := selfServe(reg, scenarios, session.Config{
+		var err error
+		ss, err = selfServe(reg, scenarios, session.Config{
 			MaxActive:  *maxActive,
 			MaxQueued:  *maxQueued,
 			RetryAfter: *retryAfter,
 			Isolated:   false,
-		}, *invokeLimit)
+		}, *invokeLimit, *traceOut)
 		if err != nil {
 			fmt.Fprintf(stderr, "axmlload: %v\n", err)
 			return 1
 		}
-		defer srv.Close()
-		base = "http://" + addr
+		defer ss.Close()
+		base = "http://" + ss.addr
 	}
 	base = strings.TrimRight(base, "/")
 
@@ -347,6 +356,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "axmlload: wrote %s\n", *jsonPath)
 	}
 
+	if *statsOut != "" {
+		if err := writeStats(*statsOut, ss, client, base); err != nil {
+			fmt.Fprintf(stderr, "axmlload: stats: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "axmlload: wrote %s\n", *statsOut)
+	}
+	if ss != nil {
+		if err := ss.Close(); err != nil {
+			fmt.Fprintf(stderr, "axmlload: %v\n", err)
+			return 1
+		}
+	}
+
 	if rep.Totals.VerifyFailures > 0 {
 		fmt.Fprintf(stderr, "axmlload: %d answers diverged from the serial oracle\n", rep.Totals.VerifyFailures)
 		for _, msg := range mismatchMsgs {
@@ -361,30 +384,105 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// selfServer is the in-process session server with its observability
+// sidecars: the per-service profiler and the optional span sink.
+type selfServer struct {
+	srv       *http.Server
+	addr      string
+	prof      *profile.Profiler
+	traceFile *os.File
+	closed    bool
+}
+
+// Close shuts the server and flushes the trace sink; safe to call
+// twice (run closes it eagerly to flush, the defer covers error paths).
+func (s *selfServer) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+	}
+	if s.traceFile != nil {
+		if cerr := s.traceFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // selfServe starts an in-process session server for the suite on a
-// loopback listener and returns the bound address.
-func selfServe(reg *service.Registry, scenarios []workload.Scenario, cfg session.Config, invokeLimit int) (*http.Server, string, error) {
+// loopback listener. Its registry is profiled (under the response
+// cache) so -stats-out can snapshot what the run learned; traceOut
+// optionally streams the server tracer's spans as JSONL.
+func selfServe(reg *service.Registry, scenarios []workload.Scenario, cfg session.Config, invokeLimit int, traceOut string) (*selfServer, error) {
 	metrics := telemetry.NewRegistry()
+	ss := &selfServer{prof: profile.New(0, nil)}
+	ss.prof.ExposeProm(metrics)
 	cache := service.NewCache(service.CacheSpec{})
 	cache.Instrument(metrics)
-	cfg.Registry = cache.Wrap(session.LimitRegistry(reg, invokeLimit, metrics))
+	cache.Notify(ss.prof.Notify())
+	cfg.Registry = cache.Wrap(ss.prof.Wrap(session.LimitRegistry(reg, invokeLimit, metrics)))
 	cfg.Metrics = metrics
 	cfg.Engine = core.Options{Strategy: core.LazyNFQ, Incremental: true}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		ss.traceFile = f
+		tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+		tracer.InstrumentDrops(metrics)
+		tracer.SetSink(telemetry.SinkJSONL(f))
+		cfg.Tracer = tracer
+	}
 	mgr := session.NewManager(cfg)
 	for _, sc := range scenarios {
 		// The manager materialises its masters in place; the oracle needs
 		// the scenario documents pristine.
 		if err := mgr.AddDocument(sc.Name, sc.Doc.Clone(), sc.Schema); err != nil {
-			return nil, "", err
+			return nil, err
 		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", err
+		ss.Close()
+		return nil, err
 	}
-	srv := &http.Server{Handler: session.Handler(mgr)}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
+	ss.addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.Handle("/stats/services", ss.prof.Handler())
+	mux.Handle("/", session.Handler(mgr))
+	ss.srv = &http.Server{Handler: mux}
+	go func() { _ = ss.srv.Serve(ln) }()
+	return ss, nil
+}
+
+// writeStats saves the per-service profile snapshot: straight from the
+// in-process profiler under -self, otherwise from the live server's
+// GET /stats/services.
+func writeStats(path string, ss *selfServer, client *http.Client, base string) error {
+	var buf bytes.Buffer
+	if ss != nil {
+		if err := ss.prof.WriteJSON(&buf); err != nil {
+			return err
+		}
+	} else {
+		resp, err := client.Get(base + "/stats/services")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /stats/services: %s", resp.Status)
+		}
+		if _, err := io.Copy(&buf, resp.Body); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }
 
 // postQuery performs one POST /query round trip. The int results are

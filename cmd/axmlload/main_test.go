@@ -11,7 +11,9 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"github.com/activexml/axml/internal/profile"
 	"github.com/activexml/axml/internal/session"
+	"github.com/activexml/axml/internal/telemetry"
 )
 
 // TestLoadSelfSmoke replays a small mixed workload against an
@@ -163,5 +165,63 @@ func TestLoadFlagValidation(t *testing.T) {
 	}
 	if code := run([]string{"-self", "-clients", "0"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("zero clients: exit %d, want 2", code)
+	}
+}
+
+// TestLoadObservabilitySinks: -trace-out streams the self server's
+// spans as parseable JSONL and -stats-out captures the per-service
+// profile the run learned.
+func TestLoadObservabilitySinks(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "spans.jsonl")
+	statsPath := filepath.Join(dir, "stats.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-self", "-clients", "4", "-requests", "40", "-hotels", "6",
+		"-trace-out", tracePath, "-stats-out", statsPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := telemetry.DecodeJSONL(f)
+	if err != nil {
+		t.Fatalf("trace JSONL must parse cleanly after the run: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans streamed")
+	}
+
+	b, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Services []profile.ServiceProfile `json:"services"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("bad stats snapshot: %v\n%s", err, b)
+	}
+	if len(doc.Services) == 0 {
+		t.Fatal("stats snapshot learned no services")
+	}
+	for _, s := range doc.Services {
+		if s.Calls == 0 || s.P50 == 0 {
+			t.Fatalf("empty profile in snapshot: %+v", s)
+		}
+	}
+}
+
+// TestLoadTraceOutNeedsSelf: -trace-out against a remote URL is a
+// usage error.
+func TestLoadTraceOutNeedsSelf(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-url", "http://localhost:1", "-trace-out", "x.jsonl"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2: %s", code, stderr.String())
 	}
 }

@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "print the evaluation's span tree (detect/invoke timings, pruned vs invoked) to stderr")
 		traceOut   = fs.String("trace-out", "", "stream finished telemetry spans to this file as JSONL")
+		remoteSpan = fs.Int("remote-spans", 512, "remote span subtree budget per invocation when tracing over -provider (0 = propagate the trace ID only)")
 		serveDebug = fs.String("serve-debug", "", "serve /metrics, /debug/trace and /debug/pprof on this address (e.g. :8090) while evaluating")
 		tmplText   = fs.String("template", "", "render results through an XML template with {$X} placeholders")
 		outPath    = fs.String("out", "", "write the materialised document here")
@@ -152,7 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var tracer *telemetry.Tracer
 	if *explain || *traceOut != "" || *serveDebug != "" {
 		tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+		// The trace ID is derived from the run's inputs, not drawn at
+		// random, so two identical runs produce byte-identical traces —
+		// the same discipline the engine applies to everything else.
+		tracer.SetTrace(telemetry.DeriveTraceID(*queryText, *docPath))
 		opt.Tracer = tracer
+		opt.RemoteSpans = *remoteSpan
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -166,6 +172,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *stats || *serveDebug != "" {
 		metrics = telemetry.NewRegistry()
 		opt.Metrics = metrics
+		tracer.InstrumentDrops(metrics)
 	}
 	if *serveDebug != "" {
 		ln, err := net.Listen("tcp", *serveDebug)

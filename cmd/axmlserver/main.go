@@ -13,6 +13,7 @@
 //	           [-deadline 0] [-recursive] [-invoke-workers 4] [-dump-doc doc.axml]
 //	           [-max-active 0] [-max-queued 0] [-retry-after 500ms]
 //	           [-invoke-limit 16] [-drain-timeout 10s] [-isolated] [-docs dir]
+//	           [-trace-out spans.jsonl]
 //
 // Endpoints:
 //
@@ -21,6 +22,7 @@
 //	GET  /documents           resident document names
 //	GET  /tenants             per-tenant accounting
 //	GET  /stats               session-manager snapshot
+//	GET  /stats/services      per-service statistics profiles (JSON)
 //	GET  /services            service descriptor (WSDL-lite)
 //	POST /services/<name>     invoke a service
 //	GET  /metrics             Prometheus text exposition (sessions, cache,
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/profile"
 	"github.com/activexml/axml/internal/repo"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/session"
@@ -91,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		isolated     = fs.Bool("isolated", false, "evaluate every session on a private document clone (no shared materialisation)")
 		noProject    = fs.Bool("no-project", false, "disable type-based document projection on schema-typed documents")
 		docsDir      = fs.String("docs", "", "persist materialised documents to this directory across restarts")
+		traceOut     = fs.String("trace-out", "", "stream finished telemetry spans to this file as JSONL (closed after drain)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,9 +112,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	}
 	metrics := telemetry.NewRegistry()
 	tracer := telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+	tracer.InstrumentDrops(metrics)
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+		traceFile = f
+		tracer.SetSink(telemetry.SinkJSONL(f))
+	}
+	// One profiler spans both stacks (SOAP provider and session service):
+	// it sits under each response cache, so it profiles real provider
+	// work, and the caches report their outcomes through Notify.
+	prof := profile.New(0, nil)
+	prof.ExposeProm(metrics)
+	reg = prof.Wrap(reg)
 	if *cached {
 		cache := service.NewCache(service.CacheSpec{TTL: *cacheTTL})
 		cache.Instrument(metrics)
+		cache.Notify(prof.Notify())
 		reg = cache.Wrap(reg)
 	}
 
@@ -134,13 +156,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	suiteReg, scenarios := workload.Suite(spec)
 	qcache := service.NewCache(service.CacheSpec{TTL: *cacheTTL})
 	qcache.Instrument(metrics)
-	sessionReg := qcache.Wrap(session.LimitRegistry(suiteReg, *invokeLimit, metrics))
+	qcache.Notify(prof.Notify())
+	sessionReg := qcache.Wrap(prof.Wrap(session.LimitRegistry(suiteReg, *invokeLimit, metrics)))
 
 	var rp *repo.Repo
 	if *docsDir != "" {
 		var err error
 		if rp, err = repo.Open(*docsDir); err != nil {
 			fmt.Fprintf(stderr, "axmlserver: %v\n", err)
+			return 1
+		}
+		// Reopen the profiles learned by previous lives of this data
+		// directory: quantiles and selectivities are warm from the first
+		// request (a corrupt file degrades to a cold start).
+		if err := prof.LoadFile(*docsDir); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: profiles: %v\n", err)
 			return 1
 		}
 	}
@@ -197,6 +227,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	mux := http.NewServeMux()
 	telemetry.Mount(mux, metrics, tracer)
 	session.Mount(mux, mgr)
+	mux.Handle("/stats/services", prof.Handler())
 	mux.Handle("/", provider)
 
 	srv := &http.Server{Handler: mux}
@@ -229,6 +260,20 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stderr, "axmlserver: shutdown: %v\n", err)
 		code = 1
+	}
+	if *docsDir != "" {
+		if err := prof.SaveFile(*docsDir); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: profiles: %v\n", err)
+			code = 1
+		}
+	}
+	if traceFile != nil {
+		// The sink streamed every finished span already; all that is left
+		// is making the JSONL durable.
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(stderr, "axmlserver: trace: %v\n", err)
+			code = 1
+		}
 	}
 	if code == 0 {
 		fmt.Fprintf(stdout, "axmlserver: drained and stopped\n")

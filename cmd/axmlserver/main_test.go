@@ -15,6 +15,7 @@ import (
 	"github.com/activexml/axml/internal/core"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 	"github.com/activexml/axml/internal/workload"
 )
@@ -352,5 +353,141 @@ func TestGracefulShutdownDrainsInFlight(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "drained and stopped") {
 		t.Fatalf("missing drain confirmation in output:\n%s", out.String())
+	}
+}
+
+// startServer boots run() with the given extra args and returns the
+// bound address plus a shutdown func that stops it and reports the exit
+// code.
+func startServer(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exit := make(chan int, 1)
+	var out, errOut strings.Builder
+	go func() {
+		exit <- run(append([]string{"-addr", "127.0.0.1:0", "-hotels", "5"}, args...),
+			&out, &errOut, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("server did not start: %s", errOut.String())
+	}
+	var once bool
+	return addr, func() int {
+		if once {
+			return 0
+		}
+		once = true
+		close(stop)
+		select {
+		case code := <-exit:
+			if code != 0 {
+				t.Fatalf("server exit %d: %s", code, errOut.String())
+			}
+			return code
+		case <-time.After(30 * time.Second):
+			t.Fatal("server did not stop")
+			return -1
+		}
+	}
+}
+
+// fetchServiceStats reads GET /stats/services into the profile snapshot
+// shape.
+func fetchServiceStats(t *testing.T, addr string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/stats/services")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats/services: %d", resp.StatusCode)
+	}
+	var doc struct {
+		Services []map[string]any `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc.Services
+}
+
+// TestProfileRestartOpensWarm: a server with -docs persists its learned
+// per-service profiles on drain; a restarted server answers GET
+// /stats/services with the pre-restart quantiles and selectivities
+// before serving a single query.
+func TestProfileRestartOpensWarm(t *testing.T) {
+	dir := t.TempDir()
+	addr, shutdown := startServer(t, "-docs", dir)
+
+	body := `{"tenant":"t1","document":"travel","query":` + strconv.Quote(travelQuery) + `}`
+	for i := 0; i < 3; i++ {
+		resp, payload := postSessionQuery(t, addr, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, payload)
+		}
+	}
+	learned := fetchServiceStats(t, addr)
+	if len(learned) == 0 {
+		t.Fatal("no service profiles learned")
+	}
+	shutdown()
+	if _, err := os.Stat(filepath.Join(dir, "profiles.json")); err != nil {
+		t.Fatalf("profiles not persisted: %v", err)
+	}
+
+	addr2, shutdown2 := startServer(t, "-docs", dir)
+	defer shutdown2()
+	warm := fetchServiceStats(t, addr2)
+	if len(warm) != len(learned) {
+		t.Fatalf("restarted server serves %d profiles, want %d", len(warm), len(learned))
+	}
+	for i, w := range warm {
+		l := learned[i]
+		for _, key := range []string{"service", "calls", "p50_ns", "p95_ns", "p99_ns", "selectivity", "fault_rate", "bytes", "nodes"} {
+			if w[key] != l[key] {
+				t.Fatalf("profile %v: %s = %v after restart, want %v", w["service"], key, w[key], l[key])
+			}
+		}
+		// The rolling window is process-local: a freshly restarted server
+		// has seen no recent traffic.
+		if w["recent_calls"] != float64(0) {
+			t.Fatalf("restarted server claims recent traffic: %v", w)
+		}
+	}
+}
+
+// TestTraceOutStreamsJSONL: -trace-out streams the server tracer's
+// spans to a JSONL file that parses cleanly after drain.
+func TestTraceOutStreamsJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	addr, shutdown := startServer(t, "-trace-out", path)
+	body := `{"tenant":"t1","document":"travel","query":` + strconv.Quote(travelQuery) + `}`
+	if resp, payload := postSessionQuery(t, addr, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: %d: %s", resp.StatusCode, payload)
+	}
+	shutdown()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := telemetry.DecodeJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans streamed")
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+	}
+	if !names["evaluate"] {
+		t.Fatalf("trace misses evaluate spans: %v", names)
 	}
 }

@@ -203,6 +203,7 @@ func All() []Experiment {
 		{"E11", "the bounded invocation pool cuts HTTP wall time by the layer width", E11},
 		{"E13", "streaming evaluation and type-based projection cut allocation", E13},
 		{"E14", "the persistent index makes repository opens warm", E14},
+		{"E16", "trace propagation stays under budget; profiles reopen warm", E16},
 	}
 }
 

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/profile"
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/soap"
+	"github.com/activexml/axml/internal/telemetry"
+	"github.com/activexml/axml/internal/workload"
+)
+
+// E16 measures what the observability layer costs and what it buys.
+// Part one re-runs the E11 HTTP configuration (loopback services, the
+// widest pool width of the sweep) with cross-process trace propagation
+// off and on: propagation stamps three attributes on every request
+// envelope and returns a bounded remote span subtree in every response,
+// so its cost is pure protocol overhead on top of the sleeps that
+// dominate the sweep. The budget is ≤2% wall overhead. Part two times
+// the persistent per-service statistics profiles: a profiler learns a
+// workload, saves its checksummed snapshot, and a fresh profiler opens
+// it warm — the reopened quantiles and selectivities must equal the
+// learned ones exactly, so a restarting server schedules with yesterday's
+// knowledge instead of relearning from zero.
+func E16(s Scale) (Table, error) {
+	t := Table{
+		ID:      "E16",
+		Title:   "trace propagation overhead (E11 HTTP shape) and warm profile opens",
+		Columns: []string{"case", "config", "wall-time", "overhead", "detail"},
+	}
+	const iters = 15
+	workers := s.E11Workers[len(s.E11Workers)-1]
+	resultSig := func(out *core.Outcome) string {
+		keys := make([]string, len(out.Results))
+		for i, r := range out.Results {
+			keys[i] = r.Key()
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "|")
+	}
+	for _, hotels := range s.E11Sizes {
+		spec := workload.DefaultSpec()
+		spec.Hotels = hotels
+		spec.HiddenHotels = hotels / 5
+		spec.PushCapable = true
+		spec.TargetEvery = 1
+		spec.IntensionalRatingEvery = 1
+		spec.FiveStarEvery = 8
+		spec.RatingChainDepth = 2
+		w := workload.Hotels(spec)
+		srv := httptest.NewServer(soap.NewServer(w.Registry, true))
+		client := &soap.Client{BaseURL: srv.URL}
+		reg, err := client.RegistryFor()
+		if err != nil {
+			srv.Close()
+			return t, err
+		}
+		// Three configurations separate what tracing itself costs from
+		// what crossing the process boundary adds: "off" is the untraced
+		// reference, "local" records spans but sends nothing on the wire,
+		// "propagate" additionally stamps the envelope and carries the
+		// remote span subtree back in every response. The ≤2% budget is
+		// on the propagate-vs-local delta — the cost of this feature, not
+		// of tracing as such.
+		modes := []struct {
+			name      string
+			traced    bool
+			propagate bool
+		}{
+			{"off", false, false},
+			{"local", true, false},
+			{"propagate", true, true},
+		}
+		sigs := make([]string, len(modes))
+		wallsAll := make([][]time.Duration, len(modes))
+		var calls, remoteSpans int
+		run := func(mode int) error {
+			m := modes[mode]
+			opt := core.Options{
+				Strategy: core.LazyNFQTyped, Schema: w.Schema,
+				Push: true, Layering: true, Parallel: true,
+				InvokeWorkers: workers,
+			}
+			opt.Clock = service.NewWallClock(false)
+			opt.Metrics = s.Metrics
+			var tracer *telemetry.Tracer
+			if m.traced {
+				tracer = telemetry.NewTracer(telemetry.DefaultSpanCapacity)
+				if m.propagate {
+					tracer.SetTrace(telemetry.DeriveTraceID("E16", itoa(hotels)))
+					opt.RemoteSpans = soap.MaxRemoteSpans
+				}
+				opt.Tracer = tracer
+			}
+			// Each timed run starts from a collected heap so one mode's
+			// garbage is never charged to the next mode's wall time.
+			runtime.GC()
+			t0 := time.Now()
+			out, err := core.Evaluate(w.Doc.Clone(), w.Query, reg, opt)
+			wall := time.Since(t0)
+			if err != nil {
+				return err
+			}
+			if len(out.Results) != w.ExpectedResults {
+				return fmt.Errorf("E16: got %d results, want %d", len(out.Results), w.ExpectedResults)
+			}
+			sigs[mode], calls = resultSig(out), out.Stats.CallsInvoked
+			wallsAll[mode] = append(wallsAll[mode], wall)
+			if m.propagate {
+				remoteSpans = 0
+				for _, sp := range tracer.Spans(0) {
+					if sp.Name == "http-invoke" {
+						remoteSpans++
+					}
+				}
+			}
+			return nil
+		}
+		// Interleave the modes inside each iteration: the sweep is
+		// sleep-dominated, so sequential per-mode batches would fold
+		// timer and scheduler drift into the overhead estimate. The
+		// overhead is then the median of the per-iteration paired
+		// ratios, which cancels whatever drift one iteration saw.
+		for it := 0; it < iters; it++ {
+			for mode := range modes {
+				if err := run(mode); err != nil {
+					srv.Close()
+					return t, err
+				}
+			}
+		}
+		srv.Close()
+		if sigs[0] != sigs[1] || sigs[1] != sigs[2] {
+			return t, fmt.Errorf("E16: hotels=%d tracing changed the result set", hotels)
+		}
+		pairedPct := func(num, den []time.Duration) float64 {
+			ratios := make([]float64, len(num))
+			for i := range num {
+				ratios[i] = float64(num[i]) / float64(den[i])
+			}
+			sort.Float64s(ratios)
+			return 100 * (ratios[len(ratios)/2] - 1)
+		}
+		walls := make([]time.Duration, len(modes))
+		for mode := range modes {
+			ws := append([]time.Duration(nil), wallsAll[mode]...)
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			walls[mode] = ws[len(ws)/2]
+		}
+		tracing := pairedPct(wallsAll[1], wallsAll[0])
+		propagation := pairedPct(wallsAll[2], wallsAll[1])
+		t.Rows = append(t.Rows,
+			[]string{"propagate", fmt.Sprintf("hotels=%d workers=%d off", hotels, workers),
+				ms(walls[0]), "-", fmt.Sprintf("%d http-calls", calls)},
+			[]string{"propagate", fmt.Sprintf("hotels=%d workers=%d local", hotels, workers),
+				ms(walls[1]), fmt.Sprintf("%+.2f%% vs off", tracing),
+				"spans recorded, nothing on the wire"},
+			[]string{"propagate", fmt.Sprintf("hotels=%d workers=%d propagate", hotels, workers),
+				ms(walls[2]), fmt.Sprintf("%+.2f%% vs local", propagation),
+				fmt.Sprintf("%d remote spans grafted", remoteSpans)})
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"hotels=%d: cross-process propagation adds %+.2f%% over local tracing (budget ≤2%%); identical result sets in all three modes",
+			hotels, propagation))
+	}
+
+	// Part two: persist a learned profile and reopen it warm.
+	hotels := s.E11Sizes[len(s.E11Sizes)-1]
+	spec := workload.DefaultSpec()
+	spec.Hotels = hotels
+	spec.HiddenHotels = hotels / 5
+	spec.PushCapable = true
+	spec.IntensionalRatingEvery = 1
+	w := workload.Hotels(spec)
+	prof := profile.New(0, nil)
+	opt := core.Options{
+		Strategy: core.LazyNFQTyped, Schema: w.Schema,
+		Push: true, Layering: true, Parallel: true,
+	}
+	if _, err := core.Evaluate(w.Doc.Clone(), w.Query, prof.Wrap(w.Registry), opt); err != nil {
+		return t, err
+	}
+	learned := prof.Snapshot()
+	dir, err := os.MkdirTemp("", "axml-e16-*")
+	if err != nil {
+		return t, err
+	}
+	defer os.RemoveAll(dir)
+	saveWall, err := median(iters, func() error { return prof.SaveFile(dir) })
+	if err != nil {
+		return t, err
+	}
+	info, err := os.Stat(dir + "/" + profile.FileName)
+	if err != nil {
+		return t, err
+	}
+	var warm *profile.Profiler
+	loadWall, err := median(iters, func() error {
+		warm = profile.New(0, nil)
+		return warm.LoadFile(dir)
+	})
+	if err != nil {
+		return t, err
+	}
+	reopened := warm.Snapshot()
+	// The rolling-window counters are deliberately not persisted: a
+	// reopened profile is warm history, not recent activity.
+	for i := range learned {
+		learned[i].RecentCalls, learned[i].RecentFaults = 0, 0
+	}
+	if !reflect.DeepEqual(learned, reopened) {
+		return t, fmt.Errorf("E16: warm-opened profiles differ from the learned ones")
+	}
+	t.Rows = append(t.Rows,
+		[]string{"profiles", fmt.Sprintf("save (%d services)", len(learned)),
+			ms(saveWall), "-", kb(int(info.Size()))},
+		[]string{"profiles", "load-warm", ms(loadWall), "-",
+			"quantiles and selectivities equal the learned profile"})
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"a restart reopens %d service profiles (quantiles, selectivity, fault rates) in %s instead of relearning them",
+		len(learned), ms(loadWall)))
+	return t, nil
+}

@@ -191,6 +191,14 @@ type Options struct {
 	// deterministic order. Nil disables span collection at the cost of
 	// one pointer test per instrumentation point.
 	Tracer *telemetry.Tracer
+	// RemoteSpans bounds the span subtree a remote provider may return
+	// per invocation for cross-process trace stitching (see
+	// soap.MaxRemoteSpans for the server-side cap). It only takes effect
+	// when Tracer carries a trace ID (telemetry.Tracer.SetTrace): the
+	// trace context then propagates on the wire and returned remote spans
+	// are grafted under the call's invoke span. 0 propagates the trace ID
+	// without requesting spans back.
+	RemoteSpans int
 	// OnMutate, when set, is called synchronously after every document
 	// mutation the engine performs (a call subtree rooted at removed,
 	// detached from parent, replaced by the inserted response forest) —

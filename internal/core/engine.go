@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -848,12 +849,21 @@ func (e *engine) pushedQuery(nfq *rewrite.NFQ) *pattern.Pattern {
 // callMeta accounts for one call's full attempt sequence: the virtual
 // time it consumed (attempt latencies plus backoffs), how many attempts
 // were made, how many were cut by the deadline, and the final error when
-// every attempt failed.
+// every attempt failed. attemptLog records the per-attempt outcomes for
+// trace rendering; it is collected only when a tracer is active.
 type callMeta struct {
-	cost     time.Duration
-	attempts int
-	cuts     int
-	err      error
+	cost       time.Duration
+	attempts   int
+	cuts       int
+	err        error
+	attemptLog []attemptRec
+}
+
+// attemptRec is one attempt's outcome: its virtual cost and the fault
+// class it ended with ("" for success).
+type attemptRec struct {
+	cost  time.Duration
+	class string
 }
 
 // invokeAttempts runs the retry loop for one call. It mutates no engine
@@ -862,12 +872,36 @@ type callMeta struct {
 func (e *engine) invokeAttempts(call *tree.Node, pushed *pattern.Pattern) (service.Response, callMeta) {
 	var meta callMeta
 	policy := e.opt.Retry
+	collect := e.opt.Tracer != nil
+	record := func(cost time.Duration, err error) {
+		if !collect {
+			return
+		}
+		class := ""
+		if err != nil {
+			class = service.ClassOf(err).String()
+		}
+		meta.attemptLog = append(meta.attemptLog, attemptRec{cost: cost, class: class})
+	}
+	// Propagate the trace downstream: remote providers continue the trace
+	// under the enclosing layer/evaluate span and may return their span
+	// subtree (Options.RemoteSpans). With no trace ID set the context
+	// stays plain and the wire envelope is byte-identical to untraced
+	// runs.
+	ctx := context.Background()
+	if id := e.opt.Tracer.Trace(); id != "" {
+		ctx = telemetry.WithTrace(ctx, telemetry.TraceContext{
+			TraceID:  id,
+			Parent:   e.spanParent(),
+			MaxSpans: e.opt.RemoteSpans,
+		})
+	}
 	for {
 		meta.attempts++
 		if meta.attempts > 1 {
 			meta.cost += policy.backoffBefore(meta.attempts, int(call.ID))
 		}
-		resp, err := e.reg.Invoke(call.Label, cloneForest(call.Children), pushed)
+		resp, err := e.reg.InvokeContext(ctx, call.Label, cloneForest(call.Children), pushed)
 		if err == nil {
 			if policy.Deadline > 0 && resp.Latency > policy.Deadline {
 				// The provider answered, but past the deadline: the
@@ -879,8 +913,10 @@ func (e *engine) invokeAttempts(call *tree.Node, pushed *pattern.Pattern) (servi
 					Service: call.Label, Class: service.Timeout, Latency: policy.Deadline,
 					Msg: fmt.Sprintf("latency %v exceeded deadline %v", resp.Latency, policy.Deadline),
 				}
+				record(policy.Deadline, err)
 			} else {
 				meta.cost += resp.Latency
+				record(resp.Latency, nil)
 				return resp, meta
 			}
 		} else {
@@ -890,6 +926,7 @@ func (e *engine) invokeAttempts(call *tree.Node, pushed *pattern.Pattern) (servi
 				meta.cuts++
 			}
 			meta.cost += lat
+			record(lat, err)
 		}
 		if meta.attempts >= policy.attempts() || !service.Retryable(err) {
 			meta.err = err
@@ -925,8 +962,13 @@ func (e *engine) giveUp(call *tree.Node, path string, meta callMeta) error {
 
 // emitInvokeSpan records one call's full attempt sequence as a span and
 // feeds the invocation histograms. worker is the invocation-pool worker
-// the attempt sequence ran on (0 outside a batch).
-func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, worker int, start time.Time, wall time.Duration, meta callMeta, pushed bool) {
+// the attempt sequence ran on (0 outside a batch). remote is the
+// provider-side span subtree returned in the response envelope; it is
+// grafted under the invoke span. A retried call additionally gets one
+// "attempt" child span per attempt, so retry storms are visible in the
+// explain tree (single-attempt calls emit no children, keeping
+// fault-free trace streams unchanged).
+func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, worker int, start time.Time, wall time.Duration, meta callMeta, pushed bool, remote []telemetry.Span) {
 	e.met.invokeWall.Observe(wall)
 	e.met.invokeVirt.Observe(meta.cost)
 	if e.opt.Tracer == nil {
@@ -957,7 +999,27 @@ func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, 
 	if meta.err != nil {
 		s.Attrs = append(s.Attrs, telemetry.Attr{Key: "error", Value: meta.err.Error()})
 	}
-	e.opt.Tracer.Emit(s)
+	id := e.opt.Tracer.Emit(s)
+	if meta.attempts > 1 {
+		for i, a := range meta.attemptLog {
+			status := a.class
+			if status == "" {
+				status = "ok"
+			}
+			e.opt.Tracer.Emit(telemetry.Span{
+				Parent:  id,
+				Name:    "attempt",
+				Worker:  worker,
+				Start:   start,
+				Virtual: a.cost,
+				Attrs: []telemetry.Attr{
+					{Key: "attempt", Value: strconv.Itoa(i + 1)},
+					{Key: "status", Value: status},
+				},
+			})
+		}
+	}
+	e.opt.Tracer.GraftRemote(id, remote)
 }
 
 // invokeOne invokes a single call (retries included) and charges its full
@@ -972,7 +1034,7 @@ func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
 	e.opt.Clock.Advance(meta.cost)
 	e.stats.Rounds++
 	wasPushed := meta.err == nil && pushed != nil && resp.Pushed
-	e.emitInvokeSpan(call, nfq, path, 0, start, wall, meta, wasPushed)
+	e.emitInvokeSpan(call, nfq, path, 0, start, wall, meta, wasPushed, resp.RemoteTrace)
 	if meta.err != nil {
 		return e.giveUp(call, path, meta)
 	}
@@ -1063,7 +1125,7 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		if r.meta.cost > maxCost {
 			maxCost = r.meta.cost
 		}
-		e.emitInvokeSpan(c, nfqs[i], paths[i], i%workers, r.start, r.wall, r.meta, r.meta.err == nil && r.pushed)
+		e.emitInvokeSpan(c, nfqs[i], paths[i], i%workers, r.start, r.wall, r.meta, r.meta.err == nil && r.pushed, r.resp.RemoteTrace)
 		if r.meta.err != nil {
 			if err := e.giveUp(c, paths[i], r.meta); err != nil && firstErr == nil {
 				firstErr = err

@@ -1,0 +1,362 @@
+// Package profile maintains per-service statistics profiles: the
+// empirical latency distribution, selectivity (result nodes per call),
+// fault rates per error class, payload volume and cache behaviour of
+// every provider a serving process talks to. Profiles are fed inline
+// from the invocation path (Profiler.Wrap slots between the response
+// cache and the transport, so it observes real wire calls, not cache
+// replays), exposed on /metrics as labeled axml_service_* series and on
+// GET /stats/services as JSON, and persisted as checksummed JSON so a
+// restarted server reopens with its learned profiles warm.
+//
+// Warm profiles are what the roadmap's cost-based invocation scheduling
+// needs: a provider's P95 latency and selectivity, learned across
+// restarts, are the inputs a planner would rank candidate calls by.
+//
+// Cumulative counters and histograms never reset (persistence merges
+// them across process lifetimes); a small rolling window tracks recent
+// call and fault activity so operators can tell a historically flaky
+// provider from a currently flaky one.
+package profile
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
+)
+
+// DefaultWindow is the rolling-window bucket width used by New.
+const DefaultWindow = time.Minute
+
+// windowBuckets is how many rolling buckets each service keeps; the
+// recent-activity horizon is windowBuckets * window.
+const windowBuckets = 5
+
+// Profiler accumulates per-service profiles. All methods are safe for
+// concurrent use. A nil *Profiler is a valid no-op sink: every observer
+// method returns immediately, which is how "profiling disabled" costs a
+// single pointer test at the call sites.
+type Profiler struct {
+	window time.Duration
+	now    func() time.Time
+
+	mu       sync.Mutex
+	services map[string]*acc
+}
+
+// acc is one service's accumulator. Latency observations go to a
+// log-scale histogram (shared with the metrics registry's scale, so
+// quantiles are comparable); everything else is plain counters.
+type acc struct {
+	hist      *telemetry.Histogram
+	calls     uint64
+	pushed    uint64
+	bytes     uint64
+	nodes     uint64
+	faults    map[string]uint64
+	hits      uint64
+	misses    uint64
+	coalesced uint64
+	win       [windowBuckets]winBucket
+}
+
+// winBucket is one rolling-window cell, keyed by its aligned start.
+type winBucket struct {
+	start  time.Time
+	calls  uint64
+	faults uint64
+}
+
+// New returns an empty profiler with the given rolling-window bucket
+// width (0 means DefaultWindow). now is the clock used to place
+// observations into window buckets; nil means time.Now. Tests inject a
+// fake clock to make window rotation deterministic.
+func New(window time.Duration, now func() time.Time) *Profiler {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Profiler{
+		window:   window,
+		now:      now,
+		services: map[string]*acc{},
+	}
+}
+
+func (p *Profiler) acc(name string) *acc {
+	a := p.services[name]
+	if a == nil {
+		a = &acc{hist: &telemetry.Histogram{}, faults: map[string]uint64{}}
+		p.services[name] = a
+	}
+	return a
+}
+
+// bucket returns the rolling-window cell for t, resetting it if its
+// slot last held an older interval.
+func (a *acc) bucket(t time.Time, window time.Duration) *winBucket {
+	start := t.Truncate(window)
+	idx := int(start.UnixNano()/int64(window)) % windowBuckets
+	if idx < 0 {
+		idx += windowBuckets
+	}
+	b := &a.win[idx]
+	if !b.start.Equal(start) {
+		*b = winBucket{start: start}
+	}
+	return b
+}
+
+// Observe records one completed invocation of a service: its effective
+// latency, response payload size, result width in nodes, whether the
+// provider answered a pushed query, and the fault class if it failed
+// ("" for success). Failed calls contribute to the latency histogram
+// too — a stalled provider's timeouts are part of its latency profile.
+func (p *Profiler) Observe(service string, latency time.Duration, bytes, nodes int, pushed bool, faultClass string) {
+	if p == nil {
+		return
+	}
+	t := p.now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := p.acc(service)
+	a.hist.Observe(latency)
+	a.calls++
+	a.bytes += uint64(bytes)
+	a.nodes += uint64(nodes)
+	if pushed {
+		a.pushed++
+	}
+	b := a.bucket(t, p.window)
+	b.calls++
+	if faultClass != "" {
+		a.faults[faultClass]++
+		b.faults++
+	}
+}
+
+// ObserveCache records one cache lookup outcome for a service (see
+// wrap.go for the service.Cache.Notify adapter).
+func (p *Profiler) ObserveCache(name string, event service.CacheEvent) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	a := p.acc(name)
+	switch event {
+	case service.CacheHit:
+		a.hits++
+	case service.CacheMiss:
+		a.misses++
+	case service.CacheCoalesce:
+		a.coalesced++
+	}
+}
+
+// ServiceProfile is one service's profile at a point in time. Durations
+// are conservative log-scale quantile estimates (see
+// telemetry.HistogramSnapshot.Quantile).
+type ServiceProfile struct {
+	Service string `json:"service"`
+	// Calls counts wire invocations (cache hits excluded).
+	Calls  uint64 `json:"calls"`
+	Pushed uint64 `json:"pushed,omitempty"`
+	// Faults counts failed invocations per error class.
+	Faults map[string]uint64 `json:"faults,omitempty"`
+	// FaultRate is total faults over total calls.
+	FaultRate float64 `json:"fault_rate"`
+	Bytes     uint64  `json:"bytes"`
+	Nodes     uint64  `json:"nodes"`
+	// Selectivity is result nodes per call — the profile's estimate of
+	// how much data one invocation of this service yields.
+	Selectivity float64       `json:"selectivity"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+	P99         time.Duration `json:"p99_ns"`
+	Mean        time.Duration `json:"mean_ns"`
+	Max         time.Duration `json:"max_ns"`
+	CacheHits   uint64        `json:"cache_hits"`
+	CacheMisses uint64        `json:"cache_misses"`
+	Coalesced   uint64        `json:"coalesced,omitempty"`
+	// HitRate is cache hits over cache lookups (hits + misses).
+	HitRate float64 `json:"hit_rate"`
+	// RecentCalls and RecentFaults count activity inside the rolling
+	// window horizon; they are not persisted.
+	RecentCalls  uint64 `json:"recent_calls"`
+	RecentFaults uint64 `json:"recent_faults"`
+}
+
+// Snapshot returns every service's profile, sorted by service name so
+// output is deterministic.
+func (p *Profiler) Snapshot() []ServiceProfile {
+	if p == nil {
+		return nil
+	}
+	t := p.now()
+	horizon := t.Add(-time.Duration(windowBuckets) * p.window)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ServiceProfile, 0, len(p.services))
+	for name, a := range p.services {
+		h := a.hist.Snapshot()
+		sp := ServiceProfile{
+			Service:     name,
+			Calls:       a.calls,
+			Pushed:      a.pushed,
+			Bytes:       a.bytes,
+			Nodes:       a.nodes,
+			P50:         h.Quantile(0.50),
+			P95:         h.Quantile(0.95),
+			P99:         h.Quantile(0.99),
+			Mean:        h.Mean(),
+			Max:         h.Max,
+			CacheHits:   a.hits,
+			CacheMisses: a.misses,
+			Coalesced:   a.coalesced,
+		}
+		var faults uint64
+		if len(a.faults) > 0 {
+			sp.Faults = make(map[string]uint64, len(a.faults))
+			for c, n := range a.faults {
+				sp.Faults[c] = n
+				faults += n
+			}
+		}
+		if a.calls > 0 {
+			sp.FaultRate = float64(faults) / float64(a.calls)
+			sp.Selectivity = float64(a.nodes) / float64(a.calls)
+		}
+		if lookups := a.hits + a.misses; lookups > 0 {
+			sp.HitRate = float64(a.hits) / float64(lookups)
+		}
+		for i := range a.win {
+			if b := &a.win[i]; !b.start.IsZero() && !b.start.Before(horizon) {
+				sp.RecentCalls += b.calls
+				sp.RecentFaults += b.faults
+			}
+		}
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// persisted is the durable form of one service's cumulative state. The
+// rolling window is deliberately not persisted: "recent" means this
+// process lifetime.
+type persisted struct {
+	Service   string                      `json:"service"`
+	Hist      telemetry.HistogramSnapshot `json:"hist"`
+	Calls     uint64                      `json:"calls"`
+	Pushed    uint64                      `json:"pushed,omitempty"`
+	Bytes     uint64                      `json:"bytes,omitempty"`
+	Nodes     uint64                      `json:"nodes,omitempty"`
+	Faults    map[string]uint64           `json:"faults,omitempty"`
+	Hits      uint64                      `json:"cache_hits,omitempty"`
+	Misses    uint64                      `json:"cache_misses,omitempty"`
+	Coalesced uint64                      `json:"coalesced,omitempty"`
+}
+
+// envelope is the on-disk file shape: the payload plus its checksum, so
+// a torn or bit-rotted profiles file is detected and discarded instead
+// of silently seeding wrong estimates.
+type envelope struct {
+	SHA256  string          `json:"sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Marshal renders the profiler's cumulative state as checksummed JSON.
+func (p *Profiler) Marshal() ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("profile: nil profiler")
+	}
+	p.mu.Lock()
+	recs := make([]persisted, 0, len(p.services))
+	for name, a := range p.services {
+		r := persisted{
+			Service:   name,
+			Hist:      a.hist.Snapshot(),
+			Calls:     a.calls,
+			Pushed:    a.pushed,
+			Bytes:     a.bytes,
+			Nodes:     a.nodes,
+			Hits:      a.hits,
+			Misses:    a.misses,
+			Coalesced: a.coalesced,
+		}
+		if len(a.faults) > 0 {
+			r.Faults = make(map[string]uint64, len(a.faults))
+			for c, n := range a.faults {
+				r.Faults[c] = n
+			}
+		}
+		recs = append(recs, r)
+	}
+	p.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Service < recs[j].Service })
+	payload, err := json.Marshal(recs)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(payload)
+	return json.MarshalIndent(envelope{
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: payload,
+	}, "", "  ")
+}
+
+// Unmarshal merges checksummed profile state (a Marshal output) into
+// the profiler: histograms and counters add onto whatever is already
+// accumulated, so load-then-learn keeps both. A checksum mismatch or
+// malformed payload returns an error and leaves the profiler untouched.
+func (p *Profiler) Unmarshal(data []byte) error {
+	if p == nil {
+		return fmt.Errorf("profile: nil profiler")
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("profile: bad envelope: %w", err)
+	}
+	// The checksum covers the compact payload encoding: re-indenting the
+	// file (json.MarshalIndent does, and so might a human) must not read
+	// as corruption, while any semantic change does.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return fmt.Errorf("profile: bad payload: %w", err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	if hex.EncodeToString(sum[:]) != env.SHA256 {
+		return fmt.Errorf("profile: checksum mismatch (file corrupt)")
+	}
+	var recs []persisted
+	if err := json.Unmarshal(env.Payload, &recs); err != nil {
+		return fmt.Errorf("profile: bad payload: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range recs {
+		a := p.acc(r.Service)
+		a.hist.Load(r.Hist)
+		a.calls += r.Calls
+		a.pushed += r.Pushed
+		a.bytes += r.Bytes
+		a.nodes += r.Nodes
+		a.hits += r.Hits
+		a.misses += r.Misses
+		a.coalesced += r.Coalesced
+		for c, n := range r.Faults {
+			a.faults[c] += n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/tree"
+)
+
+func testRegistry() *service.Registry {
+	reg := service.NewRegistry()
+	reg.Register(&service.Service{
+		Name:    "cities",
+		Latency: 5 * time.Millisecond,
+		Handler: func(params []*tree.Node) ([]*tree.Node, error) {
+			r := tree.NewElement("city")
+			r.Append(tree.NewText("Paris"))
+			return []*tree.Node{r}, nil
+		},
+	})
+	reg.Register(&service.Service{
+		Name:    "flaky",
+		Latency: time.Millisecond,
+		Handler: func(params []*tree.Node) ([]*tree.Node, error) {
+			return nil, &service.Fault{Service: "flaky", Class: service.Transient, Msg: "boom"}
+		},
+	})
+	return reg
+}
+
+func TestWrapObservesInvocations(t *testing.T) {
+	p := New(0, nil)
+	reg := p.Wrap(testRegistry())
+	for i := 0; i < 3; i++ {
+		if _, err := reg.Invoke("cities", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := reg.Invoke("flaky", nil, nil); err == nil {
+		t.Fatal("expected fault")
+	}
+	snap := p.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 services, got %d", len(snap))
+	}
+	// Sorted by name: cities before flaky.
+	c, f := snap[0], snap[1]
+	if c.Service != "cities" || f.Service != "flaky" {
+		t.Fatalf("order: %q, %q", c.Service, f.Service)
+	}
+	if c.Calls != 3 || c.FaultRate != 0 {
+		t.Fatalf("cities: %+v", c)
+	}
+	if c.Selectivity != 2 { // element + text node per call
+		t.Fatalf("cities selectivity: %v", c.Selectivity)
+	}
+	if c.P50 == 0 || c.P95 < c.P50 {
+		t.Fatalf("cities quantiles: p50=%v p95=%v", c.P50, c.P95)
+	}
+	if f.Calls != 1 || f.FaultRate != 1 || f.Faults["transient"] != 1 {
+		t.Fatalf("flaky: %+v", f)
+	}
+	if c.RecentCalls != 3 || f.RecentFaults != 1 {
+		t.Fatalf("recent: %+v %+v", c, f)
+	}
+}
+
+func TestRollingWindowExpires(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := New(time.Minute, func() time.Time { return now })
+	p.Observe("svc", time.Millisecond, 10, 2, false, "")
+	if s := p.Snapshot()[0]; s.RecentCalls != 1 {
+		t.Fatalf("recent before expiry: %+v", s)
+	}
+	now = now.Add(windowBuckets*time.Minute + time.Minute)
+	s := p.Snapshot()[0]
+	if s.RecentCalls != 0 {
+		t.Fatalf("recent after expiry: %+v", s)
+	}
+	if s.Calls != 1 {
+		t.Fatalf("cumulative must survive expiry: %+v", s)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	p := New(0, nil)
+	reg := p.Wrap(testRegistry())
+	for i := 0; i < 10; i++ {
+		reg.Invoke("cities", nil, nil)
+	}
+	reg.Invoke("flaky", nil, nil)
+	p.ObserveCache("cities", service.CacheHit)
+	p.ObserveCache("cities", service.CacheMiss)
+
+	dir := t.TempDir()
+	if err := p.SaveFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	q := New(0, nil)
+	if err := q.LoadFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	want, got := p.Snapshot(), q.Snapshot()
+	// The rolling window is process-local by design.
+	for i := range want {
+		want[i].RecentCalls, want[i].RecentFaults = 0, 0
+		got[i].RecentCalls, got[i].RecentFaults = 0, 0
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip mismatch:\nwant %+v\ngot  %+v", want, got)
+	}
+	if got[0].P95 == 0 || got[0].Selectivity != want[0].Selectivity {
+		t.Fatalf("reloaded profile lost estimates: %+v", got[0])
+	}
+}
+
+func TestLoadFileMissingIsCold(t *testing.T) {
+	p := New(0, nil)
+	if err := p.LoadFile(t.TempDir()); err != nil {
+		t.Fatalf("missing file must be a cold start, got %v", err)
+	}
+	if len(p.Snapshot()) != 0 {
+		t.Fatal("cold start must be empty")
+	}
+}
+
+func TestLoadFileCorruptIsColdNotFatal(t *testing.T) {
+	p := New(0, nil)
+	p.Observe("svc", time.Millisecond, 1, 1, false, "")
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	i := bytes.Index(data, []byte(`"svc"`))
+	if i < 0 {
+		t.Fatal("payload not found")
+	}
+	data[i+1] = 'x'
+	q := New(0, nil)
+	if err := q.Unmarshal(data); err == nil {
+		t.Fatal("corrupt payload must fail checksum")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, FileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.LoadFile(dir); err != nil {
+		t.Fatalf("corrupt file must degrade to cold start, got %v", err)
+	}
+	if len(q.Snapshot()) != 0 {
+		t.Fatal("corrupt file must not seed profiles")
+	}
+}
+
+func TestUnmarshalMergesOntoExisting(t *testing.T) {
+	p := New(0, nil)
+	p.Observe("svc", time.Millisecond, 10, 5, false, "")
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New(0, nil)
+	q.Observe("svc", time.Millisecond, 10, 5, false, "")
+	if err := q.Unmarshal(data); err != nil {
+		t.Fatal(err)
+	}
+	s := q.Snapshot()[0]
+	if s.Calls != 2 || s.Bytes != 20 || s.Nodes != 10 {
+		t.Fatalf("merge must add: %+v", s)
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	p := New(0, nil)
+	p.Observe("svc", time.Millisecond, 10, 5, true, "")
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats/services", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var doc struct {
+		Services []ServiceProfile `json:"services"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Services) != 1 || doc.Services[0].Service != "svc" || doc.Services[0].Pushed != 1 {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/stats/services", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST must be rejected, got %d", rec.Code)
+	}
+}
+
+func TestWritePromLabeledSeries(t *testing.T) {
+	p := New(0, nil)
+	p.Observe("a", time.Millisecond, 10, 5, false, "transient")
+	p.Observe("b", time.Millisecond, 10, 5, false, "")
+	var sb strings.Builder
+	if err := p.writeProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`axml_service_calls_total{service="a"} 1`,
+		`axml_service_faults_total{service="a",class="transient"} 1`,
+		`axml_service_latency_seconds{service="b",quantile="0.95"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilProfilerIsNoop(t *testing.T) {
+	var p *Profiler
+	p.Observe("svc", time.Millisecond, 1, 1, false, "")
+	p.ObserveCache("svc", service.CacheHit)
+	if p.Snapshot() != nil {
+		t.Fatal("nil snapshot")
+	}
+	reg := testRegistry()
+	if p.Wrap(reg) != reg {
+		t.Fatal("nil wrap must be identity")
+	}
+}

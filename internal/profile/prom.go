@@ -1,0 +1,69 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// writeProm renders the labeled axml_service_* families in the
+// Prometheus text exposition format. It is registered on the flat
+// metrics registry via ExposeProm, so one /metrics scrape covers the
+// unlabeled engine series and the per-service profiles.
+func (p *Profiler) writeProm(w io.Writer) error {
+	snap := p.Snapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	counter := func(name, help string, val func(ServiceProfile) uint64) {
+		pf("# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, s := range snap {
+			pf("%s{service=%q} %d\n", name, s.Service, val(s))
+		}
+	}
+	counter("axml_service_calls_total", "Wire invocations per service (cache hits excluded).",
+		func(s ServiceProfile) uint64 { return s.Calls })
+	counter("axml_service_pushed_total", "Invocations answered with pushed-query bindings.",
+		func(s ServiceProfile) uint64 { return s.Pushed })
+	counter("axml_service_bytes_total", "Response payload bytes per service.",
+		func(s ServiceProfile) uint64 { return s.Bytes })
+	counter("axml_service_nodes_total", "Result nodes returned per service.",
+		func(s ServiceProfile) uint64 { return s.Nodes })
+	counter("axml_service_cache_hits_total", "Response cache hits per service.",
+		func(s ServiceProfile) uint64 { return s.CacheHits })
+	counter("axml_service_cache_misses_total", "Response cache misses per service.",
+		func(s ServiceProfile) uint64 { return s.CacheMisses })
+
+	pf("# HELP axml_service_faults_total Failed invocations per service and error class.\n")
+	pf("# TYPE axml_service_faults_total counter\n")
+	for _, s := range snap {
+		classes := make([]string, 0, len(s.Faults))
+		for c := range s.Faults {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			pf("axml_service_faults_total{service=%q,class=%q} %d\n", s.Service, c, s.Faults[c])
+		}
+	}
+
+	pf("# HELP axml_service_latency_seconds Effective invocation latency quantiles per service.\n")
+	pf("# TYPE axml_service_latency_seconds gauge\n")
+	for _, s := range snap {
+		for _, q := range []struct {
+			label string
+			d     time.Duration
+		}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+			pf("axml_service_latency_seconds{service=%q,quantile=%q} %g\n",
+				s.Service, q.label, q.d.Seconds())
+		}
+	}
+	return err
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -86,7 +87,18 @@ type Cache struct {
 	inflight map[string]*flight
 	stats    CacheStats
 	met      cacheMetrics
+	onEvent  func(service string, event CacheEvent)
 }
+
+// CacheEvent classifies one cache lookup outcome for observers.
+type CacheEvent int
+
+// Cache lookup outcomes reported to Notify observers.
+const (
+	CacheHit CacheEvent = iota
+	CacheMiss
+	CacheCoalesce
+)
 
 // cacheMetrics mirrors CacheStats into a telemetry registry, plus a live
 // entry-count gauge. All fields are nil until Instrument is called; nil
@@ -141,6 +153,16 @@ func (c *Cache) Instrument(reg *telemetry.Registry) {
 	c.met.entries.Set(int64(len(c.entries)))
 }
 
+// Notify registers a per-lookup observer (the service profiler feeds
+// per-service hit rates from it). fn runs under the cache lock on every
+// hit/miss/coalesce and must be fast and must not call back into the
+// cache. Call it before the cache serves traffic.
+func (c *Cache) Notify(fn func(service string, event CacheEvent)) {
+	c.mu.Lock()
+	c.onEvent = fn
+	c.mu.Unlock()
+}
+
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
@@ -180,11 +202,11 @@ func (c *Cache) Wrap(reg *Registry) *Registry {
 			Name:    name,
 			Latency: inner.Latency,
 			CanPush: canPush,
-			Remote: func(params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+			RemoteCtx: func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
 				if !canPush {
 					pushed = nil
 				}
-				return c.invoke(reg, name, params, pushed)
+				return c.invoke(ctx, reg, name, params, pushed)
 			},
 		})
 	}
@@ -229,10 +251,10 @@ func (c *Cache) now() time.Time {
 	return time.Now()
 }
 
-func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+func (c *Cache) invoke(ctx context.Context, reg *Registry, name string, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
 	key, ok := Key(name, params, pushed)
 	if !ok {
-		return reg.Invoke(name, params, pushed)
+		return reg.InvokeContext(ctx, name, params, pushed)
 	}
 	// Each invocation lands in exactly one of Hits, Coalesced or Misses:
 	// a waiter that loops back to read the stored entry is already
@@ -249,6 +271,9 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 				if !coalesced {
 					c.stats.Hits++
 					c.met.hits.Inc()
+					if c.onEvent != nil {
+						c.onEvent(name, CacheHit)
+					}
 				}
 				resp := cloneResponse(e.resp)
 				c.mu.Unlock()
@@ -264,6 +289,9 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 				coalesced = true
 				c.stats.Coalesced++
 				c.met.coalesced.Inc()
+				if c.onEvent != nil {
+					c.onEvent(name, CacheCoalesce)
+				}
 			}
 			c.mu.Unlock()
 			<-f.done
@@ -277,15 +305,24 @@ func (c *Cache) invoke(reg *Registry, name string, params []*tree.Node, pushed *
 		}
 		c.stats.Misses++
 		c.met.misses.Inc()
+		if c.onEvent != nil {
+			c.onEvent(name, CacheMiss)
+		}
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		resp, err := reg.Invoke(name, params, pushed)
+		resp, err := reg.InvokeContext(ctx, name, params, pushed)
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if err == nil {
-			c.storeLocked(key, cloneResponse(resp))
+			master := cloneResponse(resp)
+			// The master must not remember the remote span subtree: a
+			// replayed response did no remote work, and every hit must
+			// serve identical bytes regardless of which call populated
+			// the entry.
+			master.RemoteTrace = nil
+			c.storeLocked(key, master)
 		}
 		c.mu.Unlock()
 		f.err = err

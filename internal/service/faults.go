@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -122,18 +123,18 @@ func (f *Faults) Wrap(reg *Registry) *Registry {
 			Name:    name,
 			Latency: inner.Latency,
 			CanPush: canPush,
-			Remote: func(params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+			RemoteCtx: func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
 				if !canPush {
 					pushed = nil
 				}
-				return f.invoke(reg, name, inner.Latency, params, pushed)
+				return f.invoke(ctx, reg, name, inner.Latency, params, pushed)
 			},
 		})
 	}
 	return out
 }
 
-func (f *Faults) invoke(reg *Registry, name string, latency time.Duration, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+func (f *Faults) invoke(ctx context.Context, reg *Registry, name string, latency time.Duration, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
 	n, targeted := f.next(name)
 	rng := faultRand(f.spec.Seed, name, n)
 	if targeted {
@@ -142,7 +143,7 @@ func (f *Faults) invoke(reg *Registry, name string, latency time.Duration, param
 			return Response{}, fault
 		}
 	}
-	resp, err := reg.Invoke(name, params, pushed)
+	resp, err := reg.InvokeContext(ctx, name, params, pushed)
 	if err != nil {
 		return Response{}, err
 	}

@@ -12,6 +12,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/schema"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -117,6 +119,12 @@ type Service struct {
 	// as-is, including transfer size and the provider's push decision.
 	// Handler is ignored when Remote is set.
 	Remote func(params []*tree.Node, pushed *pattern.Pattern) (Response, error)
+	// RemoteCtx is Remote with a context: the context carries the
+	// cross-process trace state (telemetry.TraceContext) and
+	// cancellation. Wrappers that thread contexts (cache, faults,
+	// session limits, the soap proxy) set RemoteCtx; it wins over Remote
+	// when both are set.
+	RemoteCtx func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (Response, error)
 }
 
 // Response is the outcome of one invocation.
@@ -133,6 +141,12 @@ type Response struct {
 	Latency time.Duration
 	// Pushed reports whether the service applied the pushed subquery.
 	Pushed bool
+	// RemoteTrace holds the provider-side span subtree returned in the
+	// response envelope when the caller opted into remote span return
+	// (telemetry.TraceContext.MaxSpans > 0). The engine grafts it under
+	// the local invoke span. Cache hits strip it — replayed responses
+	// did no remote work.
+	RemoteTrace []telemetry.Span
 }
 
 // Stats aggregates registry-level accounting.
@@ -160,7 +174,7 @@ func NewRegistry() *Registry {
 // Register adds a service; it panics on duplicates or a service with
 // neither Handler nor Remote, which are programming errors.
 func (r *Registry) Register(s *Service) {
-	if s.Handler == nil && s.Remote == nil {
+	if s.Handler == nil && s.Remote == nil && s.RemoteCtx == nil {
 		panic("service: Register with neither Handler nor Remote")
 	}
 	r.mu.Lock()
@@ -212,12 +226,26 @@ func (r *Registry) ResetStats() {
 // pushed pattern must have only variable result nodes — the engine
 // guarantees this.
 func (r *Registry) Invoke(name string, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
+	return r.InvokeContext(context.Background(), name, params, pushed)
+}
+
+// InvokeContext is Invoke with a caller-supplied context. The context
+// carries the cross-process trace state (telemetry.WithTrace) down
+// through wrapper registries to the transport; local Handler services
+// ignore it.
+func (r *Registry) InvokeContext(ctx context.Context, name string, params []*tree.Node, pushed *pattern.Pattern) (Response, error) {
 	svc := r.Lookup(name)
 	if svc == nil {
 		return Response{}, fmt.Errorf("service: unknown service %q", name)
 	}
-	if svc.Remote != nil {
-		resp, err := svc.Remote(params, pushed)
+	if svc.Remote != nil || svc.RemoteCtx != nil {
+		var resp Response
+		var err error
+		if svc.RemoteCtx != nil {
+			resp, err = svc.RemoteCtx(ctx, params, pushed)
+		} else {
+			resp, err = svc.Remote(params, pushed)
+		}
 		if err != nil {
 			return Response{}, fmt.Errorf("service %s: %w", name, err)
 		}

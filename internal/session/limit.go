@@ -1,6 +1,8 @@
 package session
 
 import (
+	"context"
+
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/telemetry"
@@ -34,10 +36,10 @@ func LimitRegistry(reg *service.Registry, limit int, metrics *telemetry.Registry
 			Name:    name,
 			Latency: inner.Latency,
 			CanPush: canPush,
-			Remote: func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+			RemoteCtx: func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
 				slots <- struct{}{}
 				inflight.Add(1)
-				resp, err := reg.Invoke(name, params, pushed)
+				resp, err := reg.InvokeContext(ctx, name, params, pushed)
 				inflight.Add(-1)
 				<-slots
 				return resp, err

@@ -1,11 +1,15 @@
 package soap
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/activexml/axml/internal/pattern"
 	"github.com/activexml/axml/internal/service"
+	"github.com/activexml/axml/internal/telemetry"
 	"github.com/activexml/axml/internal/tree"
 )
 
@@ -45,15 +49,15 @@ func RecursivePushWorkers(reg *service.Registry, maxCalls, workers int) *service
 			Latency: svc.Latency,
 			CanPush: true,
 		}
-		wrapped.Remote = func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
-			resp, err := reg.Invoke(svc.Name, params, nil)
+		wrapped.RemoteCtx = func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+			resp, err := reg.InvokeContext(ctx, svc.Name, params, nil)
 			if err != nil {
 				return service.Response{}, err
 			}
 			if pushed == nil {
 				return resp, nil
 			}
-			forest, err := materialise(reg, resp.Forest, maxCalls, workers)
+			forest, err := materialise(ctx, reg, resp.Forest, maxCalls, workers)
 			if err != nil {
 				return service.Response{}, err
 			}
@@ -89,14 +93,18 @@ func RecursivePushWorkers(reg *service.Registry, maxCalls, workers int) *service
 // engine's invocation pool: call i runs on worker i mod width) and the
 // responses spliced sequentially in document order, so the result does
 // not depend on the pool width. Only invocations run concurrently; all
-// document mutation stays on the calling goroutine.
-func materialise(reg *service.Registry, forest []*tree.Node, maxCalls, workers int) ([]*tree.Node, error) {
+// document mutation stays on the calling goroutine — which is also where
+// per-call spans are emitted into the request's trace (when ctx carries
+// one), keeping traces deterministic at every width.
+func materialise(ctx context.Context, reg *service.Registry, forest []*tree.Node, maxCalls, workers int) ([]*tree.Node, error) {
+	tc, traced := telemetry.TraceFrom(ctx)
 	root := tree.NewElement("materialise")
 	for _, n := range forest {
 		root.Append(n)
 	}
 	doc := tree.NewDocument(root)
 	invoked := 0
+	round := 0
 	for {
 		calls := doc.Calls()
 		if len(calls) == 0 {
@@ -106,14 +114,18 @@ func materialise(reg *service.Registry, forest []*tree.Node, maxCalls, workers i
 			return nil, fmt.Errorf("soap: recursive push exceeded %d call budget", maxCalls)
 		}
 		invoked += len(calls)
+		round++
 		type result struct {
-			resp service.Response
-			err  error
+			resp  service.Response
+			err   error
+			start time.Time
+			wall  time.Duration
 		}
 		results := make([]result, len(calls))
 		runOne := func(i int) {
-			resp, err := reg.Invoke(calls[i].Label, cloneForest(calls[i].Children), nil)
-			results[i] = result{resp, err}
+			start := time.Now()
+			resp, err := reg.InvokeContext(ctx, calls[i].Label, cloneForest(calls[i].Children), nil)
+			results[i] = result{resp, err, start, time.Since(start)}
 		}
 		width := workers
 		if width > len(calls) {
@@ -139,6 +151,25 @@ func materialise(reg *service.Registry, forest []*tree.Node, maxCalls, workers i
 		for i, c := range calls {
 			if results[i].err != nil {
 				return nil, results[i].err
+			}
+			if traced && tc.Tracer != nil {
+				worker := 0
+				if width > 1 {
+					worker = i % width
+				}
+				id := tc.Tracer.Emit(telemetry.Span{
+					Parent:  tc.Parent,
+					Name:    "push-invoke",
+					Worker:  worker,
+					Start:   results[i].start,
+					Wall:    results[i].wall,
+					Virtual: results[i].resp.Latency,
+					Attrs: []telemetry.Attr{
+						{Key: "service", Value: c.Label},
+						{Key: "round", Value: strconv.Itoa(round)},
+					},
+				})
+				tc.Tracer.GraftRemote(id, results[i].resp.RemoteTrace)
 			}
 			doc.ReplaceCall(c, results[i].resp.Forest)
 		}

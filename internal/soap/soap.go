@@ -16,10 +16,13 @@
 // techniques do not depend on the envelope details, only on XML transport
 // and service descriptors:
 //
-//	request:  <invoke service="getNearbyRestos" query="...optional...">
+//	request:  <invoke service="getNearbyRestos" query="...optional..."
+//	                  trace="...optional..." span="..." spans="...">
 //	             <params> ...parameter forest... </params>
 //	          </invoke>
-//	response: <response pushed="true|false"> ...result forest... </response>
+//	response: <response pushed="true|false"> ...result forest...
+//	             <axml.trace> ...optional span subtree (JSON)... </axml.trace>
+//	          </response>
 //	fault:    <fault class="transient|timeout|permanent">message</fault>
 //	          (with a non-2xx status code)
 //
@@ -27,6 +30,15 @@
 // service package's retry classification: the Client turns network
 // errors, HTTP timeouts and classed faults into service.Fault values the
 // evaluation engine's retry policy understands.
+//
+// The trace/span/spans attributes are the W3C-traceparent analogue:
+// trace is the distributed trace ID, span the caller's parent span, and
+// spans an opt-in bound on how many server-side spans the response may
+// return in its <axml.trace> child. The server continues the trace in a
+// per-request tracer (recursive-push materialisation included), grafts
+// the request's subtree into its own ring for /debug/trace, and — when
+// spans > 0 — ships the subtree back so the client stitches one
+// cross-process explain tree.
 package soap
 
 import (
@@ -76,6 +88,22 @@ type Server struct {
 // Server (request bodies) and Client (response bodies) when their
 // MaxPayloadBytes is 0.
 const DefaultMaxPayloadBytes = 64 << 20
+
+// MaxRemoteSpans caps how many spans a server returns in one response
+// envelope, whatever the request's spans attribute asks for — remote
+// span return is a debugging aid, and its payload cost must stay
+// bounded.
+const MaxRemoteSpans = 512
+
+// serverTraceCapacity bounds the per-request tracer a traced invocation
+// records into. It is deliberately small: one invocation's subtree, not
+// a process history.
+const serverTraceCapacity = 1024
+
+// traceElem is the response child carrying the returned span subtree.
+// The dotted name keeps it out of the way of ordinary service result
+// labels, and the client only interprets it when it asked for spans.
+const traceElem = "axml.trace"
 
 // readLimited reads at most limit bytes from r and reports whether the
 // stream held more (it reads one byte past the limit to distinguish
@@ -135,8 +163,34 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 		s.Metrics.Counter(telemetry.MetricHTTPFaults).Inc()
 		writeFault(w, code, class, msg)
 	}
+	// Per-request trace state: created once the envelope reveals a trace
+	// ID. finishTrace ends the request's root span exactly once, grafts
+	// the subtree into the server's long-lived ring (so /debug/trace
+	// shows continued traces) and returns the subtree for the response.
+	var (
+		rt        *telemetry.Tracer
+		root      *telemetry.ActiveSpan
+		traceDone bool
+	)
+	finishTrace := func() []telemetry.Span {
+		if rt == nil || traceDone {
+			return nil
+		}
+		traceDone = true
+		root.SetAttr("status", strconv.Itoa(status))
+		root.End()
+		spans := rt.Spans(0)
+		s.Tracer.GraftRemote(0, spans)
+		return spans
+	}
 	defer func() {
 		s.Metrics.Histogram(telemetry.MetricHTTPHandlerSeconds).Observe(time.Since(start))
+		if rt != nil {
+			// The traced root span replaces the flat legacy span — fault
+			// paths finish it here; the success path already has.
+			finishTrace()
+			return
+		}
 		if s.Tracer != nil {
 			s.Tracer.Emit(telemetry.Span{
 				Name:  "http-invoke",
@@ -163,7 +217,7 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 			fmt.Sprintf("payload too large: request body exceeds %d bytes", limit))
 		return
 	}
-	params, pushed, err := decodeInvoke(body, name)
+	params, pushed, tc, err := decodeInvoke(body, name)
 	if err != nil {
 		fail(http.StatusBadRequest, service.Permanent, err.Error())
 		return
@@ -173,17 +227,50 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 		fail(http.StatusNotFound, service.Permanent, fmt.Sprintf("unknown service %q", name))
 		return
 	}
+	ctx := r.Context()
+	if tc.TraceID != "" {
+		if tc.MaxSpans > MaxRemoteSpans {
+			tc.MaxSpans = MaxRemoteSpans
+		}
+		rt = telemetry.NewTracer(serverTraceCapacity)
+		rt.SetTrace(tc.TraceID)
+		root = rt.Start("http-invoke", 0)
+		root.SetAttr("service", name)
+	}
 	// The handler (and its simulated latency) runs under the server's
 	// per-invoke deadline and the client's disconnect. On expiry the
 	// goroutine is abandoned — handlers are pure, so its late result is
-	// simply dropped.
+	// simply dropped (late spans land in the abandoned request tracer,
+	// which is dropped with it).
 	type invokeResult struct {
 		resp service.Response
 		err  error
 	}
 	done := make(chan invokeResult, 1)
 	go func() {
-		resp, err := s.reg.Invoke(name, params, pushed)
+		ictx := ctx
+		var ss *telemetry.ActiveSpan
+		if rt != nil {
+			ss = rt.Start("service", root.ID())
+			ss.SetAttr("service", name)
+			ictx = telemetry.WithTrace(ctx, telemetry.TraceContext{
+				TraceID:  tc.TraceID,
+				Parent:   ss.ID(),
+				MaxSpans: tc.MaxSpans,
+				Tracer:   rt,
+			})
+		}
+		resp, err := s.reg.InvokeContext(ictx, name, params, pushed)
+		if ss != nil {
+			ss.AddVirtual(resp.Latency)
+			if resp.Pushed {
+				ss.SetAttr("pushed", "true")
+			}
+			if err != nil {
+				ss.SetAttr("error", service.ClassOf(err).String())
+			}
+			ss.End()
+		}
 		if err == nil && s.sleep {
 			time.Sleep(svc.Latency)
 		}
@@ -219,9 +306,65 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, name string) {
 		}
 		sb.Write(b)
 	}
+	spans := finishTrace()
+	if tc.MaxSpans > 0 && len(spans) > 0 {
+		if len(spans) > tc.MaxSpans {
+			// Keep the earliest spans plus the root (recorded last, since
+			// it ends last): truncated middles re-root under the caller's
+			// invoke span, which BuildTree already tolerates.
+			head := spans[: tc.MaxSpans-1 : tc.MaxSpans-1]
+			spans = append(head, spans[len(spans)-1])
+		}
+		// The caller sent the trace ID; repeating it on every span of
+		// the subtree would be dead weight, so it travels only by its
+		// absence — the client restamps it on decode. Spans from a
+		// different trace (none today) keep theirs. Start timestamps are
+		// this host's clock, which the caller cannot compare against its
+		// own; dropping them keeps the envelope lean and the stitched
+		// trace free of cross-host clock skew. (finishTrace already
+		// grafted the full-fidelity subtree into /debug/trace.)
+		for i := range spans {
+			if spans[i].Trace == tc.TraceID {
+				spans[i].Trace = ""
+			}
+			spans[i].Start = time.Time{}
+		}
+		if b, err := telemetry.MarshalSpansJSONCompact(spans); err == nil {
+			sb.WriteString("<" + traceElem + ">")
+			escapeCharData(&sb, b)
+			sb.WriteString("</" + traceElem + ">")
+		}
+	}
 	sb.WriteString("</response>")
 	w.Header().Set("Content-Type", "application/xml")
 	io.WriteString(w, sb.String())
+}
+
+// escapeCharData writes b as XML element character data, escaping only
+// what character data requires (&, <, >). xml.EscapeText additionally
+// escapes quotes — needed for attribute values, but a pure cost here:
+// the span subtree is quote-dense JSON shipped on every traced
+// invocation, and each &#34; would be five bytes escaped, shipped, and
+// decoded back for nothing.
+func escapeCharData(sb *strings.Builder, b []byte) {
+	last := 0
+	for i, c := range b {
+		var esc string
+		switch c {
+		case '&':
+			esc = "&amp;"
+		case '<':
+			esc = "&lt;"
+		case '>':
+			esc = "&gt;"
+		default:
+			continue
+		}
+		sb.Write(b[last:i])
+		sb.WriteString(esc)
+		last = i + 1
+	}
+	sb.Write(b[last:])
 }
 
 func writeFault(w http.ResponseWriter, code int, class service.ErrorClass, msg string) {
@@ -237,6 +380,14 @@ func writeFault(w http.ResponseWriter, code int, class service.ErrorClass, msg s
 
 // EncodeInvoke builds the request envelope for an invocation.
 func EncodeInvoke(serviceName string, params []*tree.Node, pushed *pattern.Pattern) ([]byte, error) {
+	return EncodeInvokeTrace(serviceName, params, pushed, telemetry.TraceContext{})
+}
+
+// EncodeInvokeTrace builds the request envelope with trace propagation
+// attributes: the trace ID, the caller's parent span and the opt-in
+// remote span budget travel as attributes of the invoke element. A zero
+// TraceContext encodes the plain envelope byte-for-byte.
+func EncodeInvokeTrace(serviceName string, params []*tree.Node, pushed *pattern.Pattern, tc telemetry.TraceContext) ([]byte, error) {
 	var sb strings.Builder
 	sb.WriteString(`<invoke service="`)
 	if err := xml.EscapeText(&sb, []byte(serviceName)); err != nil {
@@ -249,6 +400,19 @@ func EncodeInvoke(serviceName string, params []*tree.Node, pushed *pattern.Patte
 			return nil, err
 		}
 		sb.WriteString(`"`)
+	}
+	if tc.TraceID != "" {
+		sb.WriteString(` trace="`)
+		if err := xml.EscapeText(&sb, []byte(tc.TraceID)); err != nil {
+			return nil, err
+		}
+		sb.WriteString(`"`)
+		if tc.Parent != 0 {
+			fmt.Fprintf(&sb, ` span="%d"`, uint64(tc.Parent))
+		}
+		if tc.MaxSpans > 0 {
+			fmt.Fprintf(&sb, ` spans="%d"`, tc.MaxSpans)
+		}
 	}
 	sb.WriteString("><params>")
 	for _, p := range params {
@@ -263,28 +427,30 @@ func EncodeInvoke(serviceName string, params []*tree.Node, pushed *pattern.Patte
 }
 
 // decodeInvoke parses the request envelope. The name in the URL must
-// match the envelope's service attribute when present.
-func decodeInvoke(body []byte, urlName string) ([]*tree.Node, *pattern.Pattern, error) {
+// match the envelope's service attribute when present. The returned
+// TraceContext is zero when the caller did not propagate a trace.
+func decodeInvoke(body []byte, urlName string) ([]*tree.Node, *pattern.Pattern, telemetry.TraceContext, error) {
+	var tc telemetry.TraceContext
 	roots, err := tree.UnmarshalForest(body)
 	if err != nil {
-		return nil, nil, fmt.Errorf("bad envelope: %w", err)
+		return nil, nil, tc, fmt.Errorf("bad envelope: %w", err)
 	}
 	if len(roots) != 1 || roots[0].Label != "invoke" {
-		return nil, nil, fmt.Errorf("bad envelope: expected a single <invoke> element")
+		return nil, nil, tc, fmt.Errorf("bad envelope: expected a single <invoke> element")
 	}
 	// tree.UnmarshalForest drops attributes, so re-decode them here.
-	svcName, queryText, err := invokeAttrs(body)
+	svcName, queryText, tc, err := invokeAttrs(body)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, tc, err
 	}
 	if svcName != "" && svcName != urlName {
-		return nil, nil, fmt.Errorf("envelope service %q does not match endpoint %q", svcName, urlName)
+		return nil, nil, tc, fmt.Errorf("envelope service %q does not match endpoint %q", svcName, urlName)
 	}
 	var pushed *pattern.Pattern
 	if queryText != "" {
 		pushed, err = pattern.ParseExact(queryText)
 		if err != nil {
-			return nil, nil, fmt.Errorf("bad pushed query: %w", err)
+			return nil, nil, tc, fmt.Errorf("bad pushed query: %w", err)
 		}
 	}
 	var params []*tree.Node
@@ -294,17 +460,18 @@ func decodeInvoke(body []byte, urlName string) ([]*tree.Node, *pattern.Pattern, 
 			c.Parent = nil
 		}
 	}
-	return params, pushed, nil
+	return params, pushed, tc, nil
 }
 
-// invokeAttrs extracts the service and query attributes of the top-level
-// invoke element.
-func invokeAttrs(body []byte) (svc, query string, err error) {
+// invokeAttrs extracts the service, query and trace-propagation
+// attributes of the top-level invoke element. Malformed trace attributes
+// are ignored rather than failing the call — propagation is advisory.
+func invokeAttrs(body []byte) (svc, query string, tc telemetry.TraceContext, err error) {
 	dec := xml.NewDecoder(bytes.NewReader(body))
 	for {
 		tok, err := dec.Token()
 		if err != nil {
-			return "", "", fmt.Errorf("bad envelope: %w", err)
+			return "", "", tc, fmt.Errorf("bad envelope: %w", err)
 		}
 		if se, ok := tok.(xml.StartElement); ok {
 			for _, a := range se.Attr {
@@ -313,9 +480,19 @@ func invokeAttrs(body []byte) (svc, query string, err error) {
 					svc = a.Value
 				case "query":
 					query = a.Value
+				case "trace":
+					tc.TraceID = a.Value
+				case "span":
+					if v, err := strconv.ParseUint(a.Value, 10, 64); err == nil {
+						tc.Parent = telemetry.SpanID(v)
+					}
+				case "spans":
+					if v, err := strconv.Atoi(a.Value); err == nil && v > 0 {
+						tc.MaxSpans = v
+					}
 				}
 			}
-			return svc, query, nil
+			return svc, query, tc, nil
 		}
 	}
 }
@@ -392,7 +569,8 @@ func (c *Client) Invoke(name string, params []*tree.Node, pushed *pattern.Patter
 // returned after the last attempt carries a service.Fault so engine-side
 // retry policies (and callers) can classify it.
 func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
-	body, err := EncodeInvoke(name, params, pushed)
+	tc, _ := telemetry.TraceFrom(ctx)
+	body, err := EncodeInvokeTrace(name, params, pushed, tc)
 	if err != nil {
 		return service.Response{}, err
 	}
@@ -406,7 +584,7 @@ func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.
 		backoff = DefaultBackoff
 	}
 	for attempt := 1; ; attempt++ {
-		resp, err := c.post(ctx, url, name, body)
+		resp, err := c.post(ctx, url, name, body, tc)
 		if err == nil {
 			return resp, nil
 		}
@@ -426,7 +604,7 @@ func (c *Client) InvokeContext(ctx context.Context, name string, params []*tree.
 // service.Fault: network errors are transient, expired requests are
 // timeouts, non-2xx answers carry the server's class (or one derived
 // from the status code).
-func (c *Client) post(ctx context.Context, url, name string, body []byte) (service.Response, error) {
+func (c *Client) post(ctx context.Context, url, name string, body []byte, tc telemetry.TraceContext) (service.Response, error) {
 	start := time.Now()
 	defer func() {
 		c.Metrics.Histogram(telemetry.MetricHTTPClientSeconds).Observe(time.Since(start))
@@ -477,6 +655,19 @@ func (c *Client) post(ctx context.Context, url, name string, body []byte) (servi
 			Msg:     fmt.Sprintf("%s: %s: %s", url, httpResp.Status, faultMessage(payload)),
 		}
 	}
+	totalBytes := len(payload)
+	var remote []telemetry.Span
+	if tc.MaxSpans > 0 {
+		// The span subtree travels as a trailing trace child of the
+		// response. It is sliced out of the raw payload before XML
+		// parsing: the trace body is compact JSON whose encoder escapes
+		// every <, > and & inside strings, so the byte range between the
+		// server-appended tags holds no markup and the expensive
+		// character-data decode is skipped for the envelope's largest
+		// child. Only the opted-in trailing element is interpreted, so a
+		// service result that legitimately ends with the label keeps it.
+		payload, remote = splitTrailingTrace(payload, tc.TraceID)
+	}
 	roots, err := tree.UnmarshalForest(payload)
 	if err != nil {
 		return service.Response{}, fmt.Errorf("soap: bad response envelope: %w", err)
@@ -493,10 +684,74 @@ func (c *Client) post(ctx context.Context, url, name string, body []byte) (servi
 		n.Parent = nil
 	}
 	return service.Response{
-		Forest: forest,
-		Bytes:  len(payload),
-		Pushed: wasPushed,
+		Forest:      forest,
+		Bytes:       totalBytes,
+		Pushed:      wasPushed,
+		RemoteTrace: remote,
 	}, nil
+}
+
+// splitTrailingTrace detaches the server-appended <axml.trace> child
+// from a response payload and decodes it. The match is anchored to the
+// envelope's tail — the trace child is always the last element the
+// server writes — so result content can never be misread as a trace.
+// The trace ID the request carried is restamped onto spans the server
+// elided it from. On any shape mismatch the payload is returned intact
+// and the forest path handles it as ordinary content.
+func splitTrailingTrace(payload []byte, traceID string) ([]byte, []telemetry.Span) {
+	const closing = "</" + traceElem + "></response>"
+	if !bytes.HasSuffix(payload, []byte(closing)) {
+		return payload, nil
+	}
+	j := len(payload) - len(closing)
+	i := bytes.LastIndex(payload[:j], []byte("<"+traceElem+">"))
+	if i < 0 {
+		return payload, nil
+	}
+	spans, err := telemetry.UnmarshalSpansJSON(unescapeCharData(payload[i+len(traceElem)+2 : j]))
+	if err != nil {
+		return payload, nil
+	}
+	for k := range spans {
+		if spans[k].Trace == "" {
+			spans[k].Trace = traceID
+		}
+	}
+	stripped := append(payload[:i:i], "</response>"...)
+	return stripped, spans
+}
+
+// unescapeCharData undoes escapeCharData (&amp;, &lt;, &gt; only — the
+// entities a compact span payload can contain). The common case is a
+// zero-copy pass: the JSON encoder escapes <, > and & inside strings,
+// so the payload usually holds no entities at all.
+func unescapeCharData(b []byte) []byte {
+	if !bytes.ContainsRune(b, '&') {
+		return b
+	}
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); {
+		if b[i] == '&' {
+			rest := b[i:]
+			switch {
+			case bytes.HasPrefix(rest, []byte("&amp;")):
+				out = append(out, '&')
+				i += 5
+				continue
+			case bytes.HasPrefix(rest, []byte("&lt;")):
+				out = append(out, '<')
+				i += 4
+				continue
+			case bytes.HasPrefix(rest, []byte("&gt;")):
+				out = append(out, '>')
+				i += 4
+				continue
+			}
+		}
+		out = append(out, b[i])
+		i++
+	}
+	return out
 }
 
 // faultClass reads the fault envelope's class attribute; when absent it
@@ -608,11 +863,11 @@ func (c *Client) Proxy(info ServiceInfo) *service.Service {
 		Name:    info.Name,
 		Latency: info.Latency,
 		CanPush: info.CanPush,
-		Remote: func(params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
+		RemoteCtx: func(ctx context.Context, params []*tree.Node, pushed *pattern.Pattern) (service.Response, error) {
 			if !info.CanPush {
 				pushed = nil
 			}
-			return c.Invoke(info.Name, params, pushed)
+			return c.InvokeContext(ctx, info.Name, params, pushed)
 		},
 	}
 }

@@ -142,7 +142,7 @@ func TestEncodeInvokeEscaping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	params, got, err := decodeInvoke(body, "svc")
+	params, got, _, err := decodeInvoke(body, "svc")
 	if err != nil {
 		t.Fatal(err)
 	}

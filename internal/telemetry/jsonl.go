@@ -19,9 +19,10 @@ type jsonSpan struct {
 	Name   string            `json:"name"`
 	Shard  int               `json:"shard,omitempty"`
 	Worker int               `json:"worker,omitempty"`
-	Start  time.Time         `json:"start"`
+	Start  *time.Time        `json:"start,omitempty"`
 	WallUS int64             `json:"wall_us"`
 	VirtUS int64             `json:"virt_us,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
 	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
@@ -32,9 +33,13 @@ func toJSONSpan(s Span) jsonSpan {
 		Name:   s.Name,
 		Shard:  s.Shard,
 		Worker: s.Worker,
-		Start:  s.Start,
 		WallUS: s.Wall.Microseconds(),
 		VirtUS: s.Virtual.Microseconds(),
+		Trace:  s.Trace,
+	}
+	if !s.Start.IsZero() {
+		start := s.Start
+		js.Start = &start
 	}
 	if len(s.Attrs) > 0 {
 		js.Attrs = make(map[string]string, len(s.Attrs))
@@ -52,9 +57,12 @@ func fromJSONSpan(js jsonSpan) Span {
 		Name:    js.Name,
 		Shard:   js.Shard,
 		Worker:  js.Worker,
-		Start:   js.Start,
 		Wall:    time.Duration(js.WallUS) * time.Microsecond,
 		Virtual: time.Duration(js.VirtUS) * time.Microsecond,
+		Trace:   js.Trace,
+	}
+	if js.Start != nil {
+		s.Start = *js.Start
 	}
 	if len(js.Attrs) > 0 {
 		keys := make([]string, 0, len(js.Attrs))
@@ -82,7 +90,26 @@ func EncodeJSONL(w io.Writer, spans []Span) error {
 	return bw.Flush()
 }
 
-// DecodeJSONL parses a JSONL span stream (blank lines are skipped).
+// CorruptTraceError reports a span stream that ended mid-record or held
+// a malformed record — a crashed writer tears the final line, for
+// example. DecodeJSONL returns it together with the well-formed prefix,
+// so readers can keep every span recorded before the corruption.
+type CorruptTraceError struct {
+	// Record is the 1-based index of the first bad record.
+	Record int
+	// Err is the underlying decode error.
+	Err error
+}
+
+func (e *CorruptTraceError) Error() string {
+	return fmt.Sprintf("telemetry: bad span record %d: %v", e.Record, e.Err)
+}
+
+func (e *CorruptTraceError) Unwrap() error { return e.Err }
+
+// DecodeJSONL parses a JSONL span stream (blank lines are skipped). On
+// a truncated or corrupt stream it returns the decoded prefix together
+// with a *CorruptTraceError — callers keep everything before the tear.
 func DecodeJSONL(r io.Reader) ([]Span, error) {
 	var out []Span
 	dec := json.NewDecoder(r)
@@ -91,7 +118,7 @@ func DecodeJSONL(r io.Reader) ([]Span, error) {
 		if err := dec.Decode(&js); err == io.EOF {
 			return out, nil
 		} else if err != nil {
-			return out, fmt.Errorf("telemetry: bad span line %d: %w", len(out)+1, err)
+			return out, &CorruptTraceError{Record: len(out) + 1, Err: err}
 		}
 		out = append(out, fromJSONSpan(js))
 	}
@@ -115,4 +142,31 @@ func MarshalSpansJSON(spans []Span) ([]byte, error) {
 		out[i] = toJSONSpan(s)
 	}
 	return json.MarshalIndent(out, "", "  ")
+}
+
+// MarshalSpansJSONCompact is MarshalSpansJSON without indentation — the
+// wire form. The soap response envelope carries a span subtree on every
+// traced invocation, where the indented form's whitespace would be XML-
+// escaped, shipped, and unescaped per call for nobody to read.
+func MarshalSpansJSONCompact(spans []Span) ([]byte, error) {
+	out := make([]jsonSpan, len(spans))
+	for i, s := range spans {
+		out[i] = toJSONSpan(s)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalSpansJSON parses a JSON span array produced by
+// MarshalSpansJSON (the soap response envelope carries remote span
+// subtrees in this form).
+func UnmarshalSpansJSON(data []byte) ([]Span, error) {
+	var in []jsonSpan
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("telemetry: bad span array: %w", err)
+	}
+	out := make([]Span, len(in))
+	for i, js := range in {
+		out[i] = fromJSONSpan(js)
+	}
+	return out, nil
 }

@@ -84,6 +84,10 @@ const (
 	MetricHTTPHandlerSeconds = "axml_http_handler_seconds"
 	MetricHTTPClientSeconds  = "axml_http_client_seconds"
 	MetricHTTPClientRetries  = "axml_http_client_retries_total"
+
+	// Tracer ring evictions (Tracer.InstrumentDrops) — non-zero means
+	// /debug/trace and -explain are showing a truncated window.
+	MetricSpansDropped = "axml_spans_dropped_total"
 )
 
 // Counter is a monotonically increasing metric. The zero value is ready
@@ -199,6 +203,36 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 }
 
+// Load restores a previously snapshotted state into an empty histogram
+// — the service profiler reopens persisted latency profiles through it.
+// Loading into a histogram that has already observed values gives the
+// sum of both states.
+func (h *Histogram) Load(s HistogramSnapshot) {
+	if h == nil {
+		return
+	}
+	h.count.Add(s.Count)
+	h.sum.Add(s.Sum.Microseconds())
+	for i := 0; i < len(s.Buckets) && i < HistBuckets; i++ {
+		h.buckets[i].Add(s.Buckets[i])
+	}
+	us := s.Max.Microseconds()
+	for {
+		old := h.max.Load()
+		if us <= old || h.max.CompareAndSwap(old, us) {
+			break
+		}
+	}
+}
+
+// Snapshot copies the histogram's state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
+}
+
 // snapshot copies the histogram's state.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
@@ -281,6 +315,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	extra    []func(io.Writer) error
 }
 
 // NewRegistry returns an empty registry.
@@ -420,7 +455,32 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		pf("%s_sum %s\n", name, promSeconds(h.Sum))
 		pf("%s_count %d\n", name, h.Count)
 	}
-	return err
+	if err != nil || r == nil {
+		return err
+	}
+	r.mu.RLock()
+	extra := append([]func(io.Writer) error(nil), r.extra...)
+	r.mu.RUnlock()
+	for _, fn := range extra {
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddPromWriter registers an extra exposition writer that WriteProm
+// invokes after the registry's own series. The flat registry holds
+// unlabeled series only; subsystems that expose labeled families (the
+// per-service profiler's axml_service_* series) append themselves here
+// so one /metrics scrape covers everything.
+func (r *Registry) AddPromWriter(fn func(io.Writer) error) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.extra = append(r.extra, fn)
+	r.mu.Unlock()
 }
 
 // promSeconds formats a duration as seconds for Prometheus samples.

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"log"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -47,6 +50,11 @@ type Span struct {
 	// Virtual is the simulated (virtual-clock) duration charged during
 	// the span, when the instrumented operation charges one.
 	Virtual time.Duration
+	// Trace is the distributed trace the span belongs to (a 32-hex-digit
+	// ID, empty when tracing is process-local). Spans grafted from a
+	// remote process keep their trace ID, which is how a stitched tree
+	// proves every side ran under the same trace.
+	Trace string
 	// Attrs annotate the span (service names, call counts, errors…).
 	Attrs []Attr
 }
@@ -74,20 +82,28 @@ const DefaultSpanCapacity = 4096
 type Tracer struct {
 	nextID atomic.Uint64
 
-	mu    sync.Mutex
-	ring  []Span
-	next  int // next write position
-	count int // total spans ever recorded
-	sink  func(Span)
+	mu      sync.Mutex
+	ring    []Span
+	ringCap int // retention bound; the ring grows lazily up to it
+	next    int // next write position once the ring is full
+	count   int // total spans ever recorded
+	sink    func(Span)
+	trace   string // trace ID stamped on spans emitted without one
+	dropped uint64 // spans overwritten after the ring wrapped
+
+	dropWarn sync.Once
+	dropCtr  *Counter
 }
 
 // NewTracer returns a tracer retaining the last capacity finished spans
-// (DefaultSpanCapacity when capacity ≤ 0).
+// (DefaultSpanCapacity when capacity ≤ 0). The ring grows lazily up to
+// the capacity, so short-lived tracers — the soap server allocates one
+// per traced request — cost what they record, not what they could.
 func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultSpanCapacity
 	}
-	return &Tracer{ring: make([]Span, 0, capacity)}
+	return &Tracer{ringCap: capacity}
 }
 
 // SetSink streams every subsequently finished span to fn, in finish
@@ -100,6 +116,55 @@ func (t *Tracer) SetSink(fn func(Span)) {
 	t.mu.Lock()
 	t.sink = fn
 	t.mu.Unlock()
+}
+
+// SetTrace sets the trace ID stamped on every subsequently emitted span
+// that does not already carry one. Callers that need cross-process
+// trace stitching derive a deterministic ID (DeriveTraceID) so repeated
+// runs stay diffable.
+func (t *Tracer) SetTrace(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.trace = id
+	t.mu.Unlock()
+}
+
+// Trace returns the tracer's trace ID ("" when unset or the tracer is
+// nil, i.e. when cross-process propagation is off).
+func (t *Tracer) Trace() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trace
+}
+
+// InstrumentDrops mirrors the tracer's ring evictions into
+// MetricSpansDropped on the registry, so silent span loss is visible on
+// /metrics.
+func (t *Tracer) InstrumentDrops(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	ctr := reg.Counter(MetricSpansDropped)
+	t.mu.Lock()
+	t.dropCtr = ctr
+	ctr.Add(int64(t.dropped)) // backfill drops that happened before wiring
+	t.mu.Unlock()
+}
+
+// Dropped returns how many spans the ring has overwritten since the
+// tracer was created.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Start opens a span under the given parent (0 for a root). The
@@ -135,18 +200,71 @@ func (t *Tracer) Emit(s Span) SpanID {
 // record appends a finished span to the ring and the sink.
 func (t *Tracer) record(s Span) {
 	t.mu.Lock()
-	if len(t.ring) < cap(t.ring) {
+	if s.Trace == "" {
+		s.Trace = t.trace
+	}
+	if len(t.ring) < t.ringCap {
 		t.ring = append(t.ring, s)
 	} else {
 		t.ring[t.next] = s
+		t.next = (t.next + 1) % t.ringCap
+		t.dropped++
+		if t.dropCtr != nil {
+			t.dropCtr.Add(1)
+		}
+		t.dropWarn.Do(func() {
+			log.Printf("telemetry: span ring wrapped at capacity %d; oldest spans are being dropped (tracked by %s)",
+				t.ringCap, MetricSpansDropped)
+		})
 	}
-	t.next = (t.next + 1) % cap(t.ring)
 	t.count++
 	sink := t.sink
 	if sink != nil {
 		sink(s)
 	}
 	t.mu.Unlock()
+}
+
+// GraftRemote re-emits a remote span subtree under parent: every span
+// gets a fresh local ID, parent links internal to the batch are
+// remapped, and spans whose parent is absent from the batch are rooted
+// at parent. Remote trace IDs and attributes are preserved. Call it
+// from a coordinating goroutine in deterministic order (the engine
+// grafts in document order) so stitched traces stay diffable.
+func (t *Tracer) GraftRemote(parent SpanID, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	ids := make(map[SpanID]SpanID, len(spans))
+	for _, s := range spans {
+		if s.ID != 0 {
+			ids[s.ID] = SpanID(t.nextID.Add(1))
+		}
+	}
+	for _, s := range spans {
+		ns := s
+		ns.ID = ids[s.ID]
+		if p, ok := ids[s.Parent]; ok && s.Parent != 0 {
+			ns.Parent = p
+		} else {
+			ns.Parent = parent
+		}
+		t.Emit(ns)
+	}
+}
+
+// DeriveTraceID maps the given parts to a stable 32-hex-digit trace ID.
+// Deterministic inputs (query text, document path) give deterministic
+// IDs, which keeps cross-process explain trees bit-identical across
+// repeated runs.
+func DeriveTraceID(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // Len returns the total number of spans recorded (including ones the
@@ -169,7 +287,7 @@ func (t *Tracer) Spans(n int) []Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	var out []Span
-	if len(t.ring) < cap(t.ring) {
+	if len(t.ring) < t.ringCap {
 		out = append(out, t.ring...)
 	} else {
 		out = append(out, t.ring[t.next:]...)
