@@ -30,10 +30,12 @@ fuzz:
 
 # bench records the perf trajectory: the root benchmark suite, the E10
 # incremental-evaluation, E11 invocation-pool, E13 streaming/projection,
-# E14 warm-vs-cold repository and E16 trace-propagation/profile sweeps,
-# and the E12 multi-tenant serving run, written to
-# BENCH_E{10,11,12,13,14,16}.json. E16 reports the cross-process trace
-# propagation overhead on the E11 HTTP shape (budget: ≤2% of wall).
+# E14 warm-vs-cold repository, E16 trace-propagation/profile and E17
+# planned-vs-static scheduling sweeps, and the E12 multi-tenant serving
+# run, written to BENCH_E{10,11,12,13,14,16,17}.json. E16 reports the
+# cross-process trace propagation overhead on the E11 HTTP shape
+# (budget: ≤2% of wall); E17 pins the cost planner's speedup over static
+# striping with bit-identical results.
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) run ./cmd/axmlbench -exp E10 -json BENCH_E10.json
@@ -42,15 +44,18 @@ bench:
 	$(GO) run ./cmd/axmlbench -exp E13 -json BENCH_E13.json
 	$(GO) run ./cmd/axmlbench -exp E14 -json BENCH_E14.json
 	$(GO) run ./cmd/axmlbench -exp E16 -json BENCH_E16.json
+	$(GO) run ./cmd/axmlbench -exp E17 -json BENCH_E17.json
 
 # loadsmoke replays a small oracle-verified mixed workload through an
 # in-process session server — the serving-layer gate in `make check` —
 # streaming the distributed span trace as JSONL and snapshotting the
-# per-service statistics profiles (both are CI artifacts).
+# per-service statistics profiles (both are CI artifacts). Outputs land
+# in the ignored out/ directory, never the repo root.
 # (No -json: the recorded BENCH_E12.json is the full `make bench` run.)
 loadsmoke:
+	mkdir -p out
 	$(GO) run ./cmd/axmlload -self -clients 8 -requests 160 \
-		-trace-out loadsmoke_trace.jsonl -stats-out loadsmoke_stats.json
+		-trace-out out/loadsmoke_trace.jsonl -stats-out out/loadsmoke_stats.json
 
 microbench:
 	$(GO) test -bench . -benchmem ./internal/pattern/

@@ -8,6 +8,16 @@
 //	          [-push] [-layer] [-parallel] [-guide] [-stats] [-explain] [-out result.xml] \
 //	          [-retries 3] [-timeout 2s] [-best-effort] \
 //	          [-no-cache] [-cache-ttl 5m] [-workers 4] [-invoke-workers 4] [-no-incremental]
+//	          [-plan cost] [-plan-budget 200ms]
+//
+// Planning (see doc/PLANNER.md): -plan=cost schedules each round's
+// invocation batches from an in-run statistics profile — slowest and
+// least-selective calls first across the pool, the pool narrowed when
+// fewer workers reach the same makespan, pushes vetoed to services that
+// provably ignore them, and (with -plan-budget) speculative calls
+// deferred past the latency budget. The planner only reorders and
+// resizes work: results are bit-identical to -plan=off, and -explain
+// shows each batch's plan with its per-service cost rationale.
 //
 // Performance (see doc/PERF.md): service responses are memoised by
 // (service, parameters, pushed query) with in-flight deduplication —
@@ -46,6 +56,8 @@ import (
 	"github.com/activexml/axml/internal/construct"
 	"github.com/activexml/axml/internal/core"
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/plan"
+	"github.com/activexml/axml/internal/profile"
 	"github.com/activexml/axml/internal/schema"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/soap"
@@ -89,6 +101,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers    = fs.Int("workers", 0, "evaluate each round's relevance queries on this many goroutines (0/1 = sequential)")
 		invokeWork = fs.Int("invoke-workers", 0, "invoke up to this many independent calls of a round concurrently (implies -parallel; 0 = unbounded batches under -parallel, 1 = sequential)")
 		noIncr     = fs.Bool("no-incremental", false, "re-evaluate relevance queries from scratch each round")
+		planMode   = fs.String("plan", "off", "off|cost: plan each round's invocation batches from an in-run service profile (reorders and resizes work only; results are identical)")
+		planBudget = fs.Duration("plan-budget", 0, "defer speculative calls whose estimated latency exceeds this budget under -plan=cost (0 = admit all)")
 		noProject  = fs.Bool("no-project", false, "disable type-based document projection (typed strategy + schema only)")
 		stats      = fs.Bool("stats", false, "print evaluation statistics")
 		explain    = fs.Bool("explain", false, "print the evaluation's span tree (detect/invoke timings, pruned vs invoked) to stderr")
@@ -213,10 +227,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// response cache below can age its entries on the same timeline.
 		opt.Clock = &service.SimClock{}
 	}
+	// The planner learns from a profiler wrapped under the response
+	// cache (same layering as axmlserver): it observes real provider
+	// latencies, not cache hits, and within one evaluation later rounds
+	// are scheduled from what earlier rounds measured.
+	var planner *plan.CostPlanner
+	var prof *profile.Profiler
+	switch *planMode {
+	case "off":
+	case "cost":
+		prof = profile.New(0, nil)
+		reg = prof.Wrap(reg)
+		planner = plan.New(prof, plan.Options{SpeculativeBudget: *planBudget})
+		planner.Instrument(metrics)
+		opt.Planner = planner
+	default:
+		return fail("options", fmt.Errorf("unknown -plan mode %q (want off or cost)", *planMode))
+	}
 	var cache *service.Cache
 	if !*noCache {
 		cache = service.NewCache(service.CacheSpec{TTL: *cacheTTL, Now: service.ClockNow(opt.Clock)})
 		cache.Instrument(metrics)
+		if prof != nil {
+			cache.Notify(prof.Notify())
+		}
 		reg = cache.Wrap(reg)
 	}
 
@@ -255,6 +289,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		printStats(stderr, out.Stats)
+		if planner != nil {
+			ps := planner.Stats()
+			fmt.Fprintf(stderr, "  plan:               %d batch(es), %d reordered, %d width trim(s), %d push veto(es), %d deferred\n",
+				ps.Batches, ps.Reorders, ps.WidthTrims, out.Stats.PushVetoed, out.Stats.SpeculativeDeferred)
+		}
 		if cache != nil {
 			cs := cache.Stats()
 			fmt.Fprintf(stderr, "  svc cache:          %d hit(s), %d miss(es), %d coalesced (%.0f%% served locally)\n",

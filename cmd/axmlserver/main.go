@@ -13,7 +13,7 @@
 //	           [-deadline 0] [-recursive] [-invoke-workers 4] [-dump-doc doc.axml]
 //	           [-max-active 0] [-max-queued 0] [-retry-after 500ms]
 //	           [-invoke-limit 16] [-drain-timeout 10s] [-isolated] [-docs dir]
-//	           [-trace-out spans.jsonl]
+//	           [-plan cost] [-plan-budget 200ms] [-trace-out spans.jsonl]
 //
 // Endpoints:
 //
@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"github.com/activexml/axml/internal/core"
+	"github.com/activexml/axml/internal/plan"
 	"github.com/activexml/axml/internal/profile"
 	"github.com/activexml/axml/internal/repo"
 	"github.com/activexml/axml/internal/service"
@@ -81,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		sleep      = fs.Bool("sleep", false, "physically sleep the advertised latency per call")
 		deadline   = fs.Duration("deadline", 0, "per-invocation server deadline (0 = unbounded); expired calls answer 504 with a timeout-classed fault")
 		recursive  = fs.Bool("recursive", false, "materialise intensional results to honour pushes on every service")
-		invokeWork = fs.Int("invoke-workers", 0, "resolve a recursive materialisation round's embedded calls on this many concurrent workers (0/1 = sequential)")
+		invokeWork = fs.Int("invoke-workers", 0, "invoke a session round's independent calls — and a recursive materialisation round's embedded calls — on this many concurrent workers (0/1 = sequential)")
 		cached     = fs.Bool("cache", true, "memoise service responses server-side (counters on /metrics)")
 		cacheTTL   = fs.Duration("cache-ttl", 0, "bound how long a cached response stays servable (0 = forever)")
 		dump       = fs.String("dump-doc", "", "write the demo client document to this file and exit")
@@ -92,6 +93,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		invokeLimit  = fs.Int("invoke-limit", 16, "session invocations in flight across all tenants (0 = unbounded)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget for active sessions")
 		isolated     = fs.Bool("isolated", false, "evaluate every session on a private document clone (no shared materialisation)")
+		planMode     = fs.String("plan", "off", "off|cost: plan session invocation batches from the shared service profile (results are identical either way)")
+		planBudget   = fs.Duration("plan-budget", 0, "defer speculative calls whose estimated latency exceeds this budget under -plan=cost (0 = admit all)")
 		noProject    = fs.Bool("no-project", false, "disable type-based document projection on schema-typed documents")
 		docsDir      = fs.String("docs", "", "persist materialised documents to this directory across restarts")
 		traceOut     = fs.String("trace-out", "", "stream finished telemetry spans to this file as JSONL (closed after drain)")
@@ -178,12 +181,35 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	if *sleep {
 		clock = func() service.Clock { return service.NewWallClock(true) }
 	}
+	engine := core.Options{Strategy: core.LazyNFQ, Incremental: true, NoProject: *noProject}
+	if *invokeWork > 1 {
+		// The same pool width drives session invocation batches; results
+		// are identical to sequential execution, and it is what -plan=cost
+		// schedules.
+		engine.Layering = true
+		engine.Parallel = true
+		engine.InvokeWorkers = *invokeWork
+	}
+	switch *planMode {
+	case "off":
+	case "cost":
+		// One cost planner over the shared profiler serves every session:
+		// Config.Engine is copied into each session's options, and the
+		// planner is safe for concurrent use. Profiles persisted under
+		// -docs make its estimates warm from the first request.
+		planner := plan.New(prof, plan.Options{SpeculativeBudget: *planBudget})
+		planner.Instrument(metrics)
+		engine.Planner = planner
+	default:
+		fmt.Fprintf(stderr, "axmlserver: unknown -plan mode %q (want off or cost)\n", *planMode)
+		return 2
+	}
 	mgr := session.NewManager(session.Config{
 		Registry:   sessionReg,
 		Repo:       rp,
 		Metrics:    metrics,
 		Tracer:     tracer,
-		Engine:     core.Options{Strategy: core.LazyNFQ, Incremental: true, NoProject: *noProject},
+		Engine:     engine,
 		MaxActive:  *maxActive,
 		MaxQueued:  *maxQueued,
 		RetryAfter: *retryAfter,

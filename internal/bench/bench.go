@@ -130,6 +130,13 @@ type Scale struct {
 	// E14Sizes are the document sizes (#hotels) of the warm-vs-cold
 	// repository open sweep.
 	E14Sizes []int
+	// E17Sizes are the document sizes (#hotels) of the planned-vs-static
+	// scheduling sweep; multiples of four keep the slow-teaser aliasing
+	// pattern exact.
+	E17Sizes []int
+	// E17Widths are the pool widths the planned-vs-static comparison
+	// runs at (each width is its own static baseline).
+	E17Widths []int
 	// Metrics, when set, is threaded through every evaluation an
 	// experiment runs, accumulating detect/invoke latency histograms
 	// (cmd/axmlbench -json reports their quantiles). Nil disables.
@@ -156,6 +163,8 @@ func Quick() Scale {
 		E11Workers:      []int{1, 4},
 		E13Nodes:        []int{15000},
 		E14Sizes:        []int{40},
+		E17Sizes:        []int{8},
+		E17Widths:       []int{4},
 	}
 }
 
@@ -177,6 +186,8 @@ func Full() Scale {
 		E11Workers:      []int{1, 2, 4, 8},
 		E13Nodes:        []int{30000, 120000},
 		E14Sizes:        []int{40, 200, 1000},
+		E17Sizes:        []int{16, 48},
+		E17Widths:       []int{4, 8},
 	}
 }
 
@@ -204,6 +215,7 @@ func All() []Experiment {
 		{"E13", "streaming evaluation and type-based projection cut allocation", E13},
 		{"E14", "the persistent index makes repository opens warm", E14},
 		{"E16", "trace propagation stays under budget; profiles reopen warm", E16},
+		{"E17", "cost-based planning beats static scheduling on heterogeneous latencies", E17},
 	}
 }
 

@@ -232,3 +232,32 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("ratio = %q", got)
 	}
 }
+
+// TestE17PlannedBeatsStatic is the planner's performance acceptance:
+// at equal pool width on the heterogeneous-latency world, the
+// cost-planned schedule must beat the static striped one (which
+// serialises the slow service's calls on a single worker) while
+// producing the identical result set — E17 itself fails the run on any
+// result divergence. The margin is generous to tolerate CI jitter.
+func TestE17PlannedBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E17 sleeps real HTTP latencies")
+	}
+	tab, err := E17(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := rowsWhere(tab, "plan", "static")
+	planned := rowsWhere(tab, "plan", "cost")
+	if len(static) == 0 || len(static) != len(planned) {
+		t.Fatalf("unpaired rows:\n%s", tab)
+	}
+	for i := range static {
+		s := column(t, tab, static[i], "wall-time")
+		p := column(t, tab, planned[i], "wall-time")
+		if p >= s*0.95 {
+			t.Fatalf("planned (%vms) not faster than static (%vms) at width %s\n%s",
+				p, s, static[i][1], tab)
+		}
+	}
+}

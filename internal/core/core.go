@@ -159,6 +159,14 @@ type Options struct {
 	// unaffected: a batch is always charged the max, not the sum, of its
 	// members' costs.
 	InvokeWorkers int
+	// Planner, when set, decides per round how invocation batches
+	// execute: member-to-worker assignment, effective pool width (up to
+	// InvokeWorkers), whether to ship pushable subqueries per service,
+	// and which speculative calls fit a latency budget. A planner may
+	// only reorder and resize work — results are identical with and
+	// without one (see internal/plan). Nil keeps the static striped
+	// schedule documented on InvokeWorkers.
+	Planner InvocationPlanner
 	// RelaxJoins uses the join-free relaxed NFQs of Section 6.1.
 	RelaxJoins bool
 	// MaxCalls bounds the number of invocations (the paper's termination
@@ -346,6 +354,15 @@ type Stats struct {
 	DeadlineCuts int
 	// PushedCalls counts invocations that shipped a subquery.
 	PushedCalls int
+	// PushVetoed counts pushable calls whose subquery was withheld by
+	// the planner (AllowPush returned false). Always 0 without a
+	// planner; the veto is response-neutral by contract, so this only
+	// measures saved serialization work.
+	PushVetoed int
+	// SpeculativeDeferred counts speculative batch members pushed to a
+	// later round by the planner's latency-budget admission. Deferral
+	// reshapes the schedule, never the result set.
+	SpeculativeDeferred int
 	// RelevanceQueries counts NFQ/LPQ evaluations (including residual
 	// checks when the F-guide is active).
 	RelevanceQueries int

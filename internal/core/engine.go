@@ -338,6 +338,60 @@ func (e *engine) runLazy() error {
 	return nil
 }
 
+// admitSpeculative applies the planner's latency-budget admission to a
+// speculative batch. Deferred calls stay in the document as pending
+// calls; the next round re-detects whatever is still relevant, so
+// deferral reshapes the schedule without changing results. An invalid
+// selection (empty, out of range, not strictly ascending) admits the
+// whole batch — like an invalid plan, a buggy admission can only cost
+// performance.
+func (e *engine) admitSpeculative(pl InvocationPlanner, calls []*tree.Node, nfqs []*rewrite.NFQ) ([]*tree.Node, []*rewrite.NFQ) {
+	pcs := make([]PlanCall, len(calls))
+	for i, c := range calls {
+		pcs[i] = PlanCall{Index: i, Service: c.Label}
+	}
+	keep := pl.AdmitSpeculative(pcs)
+	if len(keep) == 0 || len(keep) >= len(calls) {
+		return calls, nfqs
+	}
+	prev := -1
+	for _, i := range keep {
+		if i <= prev || i >= len(calls) {
+			return calls, nfqs
+		}
+		prev = i
+	}
+	e.stats.SpeculativeDeferred += len(calls) - len(keep)
+	nc := make([]*tree.Node, len(keep))
+	nq := make([]*rewrite.NFQ, len(keep))
+	for j, i := range keep {
+		nc[j], nq[j] = calls[i], nfqs[i]
+	}
+	return nc, nq
+}
+
+// sortByDocOrder re-ranks parallel call/NFQ slices into document order.
+func sortByDocOrder(calls []*tree.Node, nfqs []*rewrite.NFQ, doc *tree.Document) {
+	pos := make(map[*tree.Node]int, len(calls))
+	for i, c := range doc.Calls() {
+		pos[c] = i
+	}
+	sort.Sort(&docOrderBatch{calls: calls, nfqs: nfqs, pos: pos})
+}
+
+type docOrderBatch struct {
+	calls []*tree.Node
+	nfqs  []*rewrite.NFQ
+	pos   map[*tree.Node]int
+}
+
+func (b *docOrderBatch) Len() int           { return len(b.calls) }
+func (b *docOrderBatch) Less(i, j int) bool { return b.pos[b.calls[i]] < b.pos[b.calls[j]] }
+func (b *docOrderBatch) Swap(i, j int) {
+	b.calls[i], b.calls[j] = b.calls[j], b.calls[i]
+	b.nfqs[i], b.nfqs[j] = b.nfqs[j], b.nfqs[i]
+}
+
 // pendingCalls lists the document's calls minus those given up on.
 func (e *engine) pendingCalls() []*tree.Node {
 	calls := e.doc.Calls()
@@ -413,9 +467,21 @@ func (e *engine) drainLayer(members []int, analysis *influence.Analysis, done ma
 			if len(batchCalls) == 0 {
 				return nil
 			}
-			if len(batchCalls) > e.budgetLeft() {
-				batchCalls = batchCalls[:e.budgetLeft()]
-				batchNFQs = batchNFQs[:e.budgetLeft()]
+			if pl := e.opt.Planner; pl != nil && len(batchCalls) > 1 {
+				batchCalls, batchNFQs = e.admitSpeculative(pl, batchCalls, batchNFQs)
+			}
+			if b := e.budgetLeft(); len(batchCalls) > b {
+				// The batch is assembled in NFQ-retrieval order, which
+				// depends on member iteration; a budget cut must not let
+				// that ordering decide which calls are dropped. Re-rank
+				// the batch by document order first, so the invoked
+				// prefix is deterministic and the dropped calls are
+				// exactly the document's trailing ones — like the
+				// sequential MaxCalls cut, they stay pending in the
+				// document and the evaluation reports Complete=false.
+				sortByDocOrder(batchCalls, batchNFQs, e.doc)
+				batchCalls = batchCalls[:b]
+				batchNFQs = batchNFQs[:b]
 			}
 			if err := e.invokeMixedBatch(batchCalls, batchNFQs); err != nil {
 				return err
@@ -1022,11 +1088,47 @@ func (e *engine) emitInvokeSpan(call *tree.Node, nfq *rewrite.NFQ, path string, 
 	e.opt.Tracer.GraftRemote(id, remote)
 }
 
+// pushFor computes the subquery to ship with a call to svc, honouring
+// the planner's push veto. The veto is response-neutral by contract —
+// a planner may only veto services observed to never honour a push, so
+// withholding the subquery saves serialization without changing the
+// response.
+func (e *engine) pushFor(nfq *rewrite.NFQ, svc string) *pattern.Pattern {
+	p := e.pushedQuery(nfq)
+	if p != nil && e.opt.Planner != nil && !e.opt.Planner.AllowPush(svc) {
+		e.stats.PushVetoed++
+		return nil
+	}
+	return p
+}
+
+// emitPlanSpan records the planner's decision for one batch: the
+// schedule shape (batch size, accepted width) plus the planner's own
+// rationale attrs — the per-service cost inputs behind the chosen order
+// — so -explain shows not just the schedule but why.
+func (e *engine) emitPlanSpan(bp BatchPlan, batch, width int, start time.Time, wall time.Duration) {
+	if e.opt.Tracer == nil {
+		return
+	}
+	attrs := append([]telemetry.Attr{
+		{Key: "round", Value: strconv.Itoa(e.round)},
+		{Key: "batch", Value: strconv.Itoa(batch)},
+		{Key: "width", Value: strconv.Itoa(width)},
+	}, bp.Attrs...)
+	e.opt.Tracer.Emit(telemetry.Span{
+		Parent: e.spanParent(),
+		Name:   "plan",
+		Start:  start,
+		Wall:   wall,
+		Attrs:  attrs,
+	})
+}
+
 // invokeOne invokes a single call (retries included) and charges its full
 // cost sequentially.
 func (e *engine) invokeOne(call *tree.Node, nfq *rewrite.NFQ) error {
 	path := tracePath(call)
-	pushed := e.pushedQuery(nfq)
+	pushed := e.pushFor(nfq, call.Label)
 	start := time.Now()
 	resp, meta := e.invokeAttempts(call, pushed)
 	wall := time.Since(start)
@@ -1079,7 +1181,7 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 	pushes := make([]*pattern.Pattern, len(calls))
 	paths := make([]string, len(calls))
 	for i, c := range calls {
-		pushes[i] = e.pushedQuery(nfqs[i])
+		pushes[i] = e.pushFor(nfqs[i], c.Label)
 		paths[i] = tracePath(c)
 	}
 	// Bounded invocation pool: member i runs on worker i mod W, so the
@@ -1095,16 +1197,61 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 	if workers <= 0 || workers > len(calls) {
 		workers = len(calls)
 	}
+	// workerOf[i] is the pool worker member i runs on: the static
+	// striped assignment unless an accepted plan overrides it below.
+	workerOf := make([]int, len(calls))
+	for i := range calls {
+		workerOf[i] = i % workers
+	}
+	// A planner may regroup members across workers and shrink the pool,
+	// nothing more: responses are still applied in member order after
+	// the pool drains and the batch is still charged its slowest
+	// member, so an accepted plan changes wall-clock shape only. A plan
+	// that is not an exact permutation of the batch within the width
+	// bound is discarded in favour of the striped schedule.
+	var queues [][]int
+	if pl := e.opt.Planner; pl != nil {
+		planStart := time.Now()
+		bp := pl.PlanBatch(planCalls(calls, pushes), workers)
+		planWall := time.Since(planStart)
+		if bp.Width >= 1 && bp.Width <= workers && len(bp.Queues) == bp.Width && validQueues(bp.Queues, len(calls)) {
+			workers = bp.Width
+			queues = bp.Queues
+			for w, q := range queues {
+				for _, i := range q {
+					workerOf[i] = w
+				}
+			}
+		}
+		e.emitPlanSpan(bp, len(calls), workers, planStart, planWall)
+	}
 	runMember := func(i int) {
 		start := time.Now()
 		resp, meta := e.invokeAttempts(calls[i], pushes[i])
 		results[i] = result{resp, meta, pushes[i] != nil && resp.Pushed, start, time.Since(start)}
 	}
-	if workers == 1 {
+	switch {
+	case queues != nil && workers > 1:
+		var wg sync.WaitGroup
+		for _, q := range queues {
+			wg.Add(1)
+			go func(q []int) {
+				defer wg.Done()
+				for _, i := range q {
+					runMember(i)
+				}
+			}(q)
+		}
+		wg.Wait()
+	case queues != nil:
+		for _, i := range queues[0] {
+			runMember(i)
+		}
+	case workers == 1:
 		for i := range calls {
 			runMember(i)
 		}
-	} else {
+	default:
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -1125,7 +1272,7 @@ func (e *engine) invokeMixedBatch(calls []*tree.Node, nfqs []*rewrite.NFQ) error
 		if r.meta.cost > maxCost {
 			maxCost = r.meta.cost
 		}
-		e.emitInvokeSpan(c, nfqs[i], paths[i], i%workers, r.start, r.wall, r.meta, r.meta.err == nil && r.pushed, r.resp.RemoteTrace)
+		e.emitInvokeSpan(c, nfqs[i], paths[i], workerOf[i], r.start, r.wall, r.meta, r.meta.err == nil && r.pushed, r.resp.RemoteTrace)
 		if r.meta.err != nil {
 			if err := e.giveUp(c, paths[i], r.meta); err != nil && firstErr == nil {
 				firstErr = err

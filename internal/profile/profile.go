@@ -55,16 +55,17 @@ type Profiler struct {
 // log-scale histogram (shared with the metrics registry's scale, so
 // quantiles are comparable); everything else is plain counters.
 type acc struct {
-	hist      *telemetry.Histogram
-	calls     uint64
-	pushed    uint64
-	bytes     uint64
-	nodes     uint64
-	faults    map[string]uint64
-	hits      uint64
-	misses    uint64
-	coalesced uint64
-	win       [windowBuckets]winBucket
+	hist         *telemetry.Histogram
+	calls        uint64
+	pushAttempts uint64
+	pushed       uint64
+	bytes        uint64
+	nodes        uint64
+	faults       map[string]uint64
+	hits         uint64
+	misses       uint64
+	coalesced    uint64
+	win          [windowBuckets]winBucket
 }
 
 // winBucket is one rolling-window cell, keyed by its aligned start.
@@ -117,11 +118,15 @@ func (a *acc) bucket(t time.Time, window time.Duration) *winBucket {
 }
 
 // Observe records one completed invocation of a service: its effective
-// latency, response payload size, result width in nodes, whether the
-// provider answered a pushed query, and the fault class if it failed
-// ("" for success). Failed calls contribute to the latency histogram
-// too — a stalled provider's timeouts are part of its latency profile.
-func (p *Profiler) Observe(service string, latency time.Duration, bytes, nodes int, pushed bool, faultClass string) {
+// latency, response payload size, result width in nodes, whether a
+// subquery was shipped with the call (pushAttempted) and whether the
+// provider actually answered it with bindings (pushed), and the fault
+// class if it failed ("" for success). Failed calls contribute to the
+// latency histogram too — a stalled provider's timeouts are part of
+// its latency profile. The attempt/success split is what the planner's
+// push-vs-pull decision learns from: a service with many attempts and
+// zero successes provably ignores pushes.
+func (p *Profiler) Observe(service string, latency time.Duration, bytes, nodes int, pushAttempted, pushed bool, faultClass string) {
 	if p == nil {
 		return
 	}
@@ -133,6 +138,9 @@ func (p *Profiler) Observe(service string, latency time.Duration, bytes, nodes i
 	a.calls++
 	a.bytes += uint64(bytes)
 	a.nodes += uint64(nodes)
+	if pushAttempted {
+		a.pushAttempts++
+	}
 	if pushed {
 		a.pushed++
 	}
@@ -169,8 +177,14 @@ func (p *Profiler) ObserveCache(name string, event service.CacheEvent) {
 type ServiceProfile struct {
 	Service string `json:"service"`
 	// Calls counts wire invocations (cache hits excluded).
-	Calls  uint64 `json:"calls"`
-	Pushed uint64 `json:"pushed,omitempty"`
+	Calls uint64 `json:"calls"`
+	// PushAttempts counts invocations that shipped a subquery; Pushed
+	// counts those the provider actually answered with bindings.
+	PushAttempts uint64 `json:"push_attempts,omitempty"`
+	Pushed       uint64 `json:"pushed,omitempty"`
+	// PushRate is push successes over push attempts — the planner's
+	// push-vs-pull signal (0 when nothing was ever attempted).
+	PushRate float64 `json:"push_rate,omitempty"`
 	// Faults counts failed invocations per error class.
 	Faults map[string]uint64 `json:"faults,omitempty"`
 	// FaultRate is total faults over total calls.
@@ -210,19 +224,20 @@ func (p *Profiler) Snapshot() []ServiceProfile {
 	for name, a := range p.services {
 		h := a.hist.Snapshot()
 		sp := ServiceProfile{
-			Service:     name,
-			Calls:       a.calls,
-			Pushed:      a.pushed,
-			Bytes:       a.bytes,
-			Nodes:       a.nodes,
-			P50:         h.Quantile(0.50),
-			P95:         h.Quantile(0.95),
-			P99:         h.Quantile(0.99),
-			Mean:        h.Mean(),
-			Max:         h.Max,
-			CacheHits:   a.hits,
-			CacheMisses: a.misses,
-			Coalesced:   a.coalesced,
+			Service:      name,
+			Calls:        a.calls,
+			PushAttempts: a.pushAttempts,
+			Pushed:       a.pushed,
+			Bytes:        a.bytes,
+			Nodes:        a.nodes,
+			P50:          h.Quantile(0.50),
+			P95:          h.Quantile(0.95),
+			P99:          h.Quantile(0.99),
+			Mean:         h.Mean(),
+			Max:          h.Max,
+			CacheHits:    a.hits,
+			CacheMisses:  a.misses,
+			Coalesced:    a.coalesced,
 		}
 		var faults uint64
 		if len(a.faults) > 0 {
@@ -235,6 +250,9 @@ func (p *Profiler) Snapshot() []ServiceProfile {
 		if a.calls > 0 {
 			sp.FaultRate = float64(faults) / float64(a.calls)
 			sp.Selectivity = float64(a.nodes) / float64(a.calls)
+		}
+		if a.pushAttempts > 0 {
+			sp.PushRate = float64(a.pushed) / float64(a.pushAttempts)
 		}
 		if lookups := a.hits + a.misses; lookups > 0 {
 			sp.HitRate = float64(a.hits) / float64(lookups)
@@ -255,16 +273,17 @@ func (p *Profiler) Snapshot() []ServiceProfile {
 // rolling window is deliberately not persisted: "recent" means this
 // process lifetime.
 type persisted struct {
-	Service   string                      `json:"service"`
-	Hist      telemetry.HistogramSnapshot `json:"hist"`
-	Calls     uint64                      `json:"calls"`
-	Pushed    uint64                      `json:"pushed,omitempty"`
-	Bytes     uint64                      `json:"bytes,omitempty"`
-	Nodes     uint64                      `json:"nodes,omitempty"`
-	Faults    map[string]uint64           `json:"faults,omitempty"`
-	Hits      uint64                      `json:"cache_hits,omitempty"`
-	Misses    uint64                      `json:"cache_misses,omitempty"`
-	Coalesced uint64                      `json:"coalesced,omitempty"`
+	Service      string                      `json:"service"`
+	Hist         telemetry.HistogramSnapshot `json:"hist"`
+	Calls        uint64                      `json:"calls"`
+	PushAttempts uint64                      `json:"push_attempts,omitempty"`
+	Pushed       uint64                      `json:"pushed,omitempty"`
+	Bytes        uint64                      `json:"bytes,omitempty"`
+	Nodes        uint64                      `json:"nodes,omitempty"`
+	Faults       map[string]uint64           `json:"faults,omitempty"`
+	Hits         uint64                      `json:"cache_hits,omitempty"`
+	Misses       uint64                      `json:"cache_misses,omitempty"`
+	Coalesced    uint64                      `json:"coalesced,omitempty"`
 }
 
 // envelope is the on-disk file shape: the payload plus its checksum, so
@@ -284,15 +303,16 @@ func (p *Profiler) Marshal() ([]byte, error) {
 	recs := make([]persisted, 0, len(p.services))
 	for name, a := range p.services {
 		r := persisted{
-			Service:   name,
-			Hist:      a.hist.Snapshot(),
-			Calls:     a.calls,
-			Pushed:    a.pushed,
-			Bytes:     a.bytes,
-			Nodes:     a.nodes,
-			Hits:      a.hits,
-			Misses:    a.misses,
-			Coalesced: a.coalesced,
+			Service:      name,
+			Hist:         a.hist.Snapshot(),
+			Calls:        a.calls,
+			PushAttempts: a.pushAttempts,
+			Pushed:       a.pushed,
+			Bytes:        a.bytes,
+			Nodes:        a.nodes,
+			Hits:         a.hits,
+			Misses:       a.misses,
+			Coalesced:    a.coalesced,
 		}
 		if len(a.faults) > 0 {
 			r.Faults = make(map[string]uint64, len(a.faults))
@@ -348,6 +368,7 @@ func (p *Profiler) Unmarshal(data []byte) error {
 		a := p.acc(r.Service)
 		a.hist.Load(r.Hist)
 		a.calls += r.Calls
+		a.pushAttempts += r.PushAttempts
 		a.pushed += r.Pushed
 		a.bytes += r.Bytes
 		a.nodes += r.Nodes

@@ -76,7 +76,7 @@ func TestWrapObservesInvocations(t *testing.T) {
 func TestRollingWindowExpires(t *testing.T) {
 	now := time.Unix(1000, 0)
 	p := New(time.Minute, func() time.Time { return now })
-	p.Observe("svc", time.Millisecond, 10, 2, false, "")
+	p.Observe("svc", time.Millisecond, 10, 2, false, false, "")
 	if s := p.Snapshot()[0]; s.RecentCalls != 1 {
 		t.Fatalf("recent before expiry: %+v", s)
 	}
@@ -134,7 +134,7 @@ func TestLoadFileMissingIsCold(t *testing.T) {
 
 func TestLoadFileCorruptIsColdNotFatal(t *testing.T) {
 	p := New(0, nil)
-	p.Observe("svc", time.Millisecond, 1, 1, false, "")
+	p.Observe("svc", time.Millisecond, 1, 1, false, false, "")
 	data, err := p.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -163,13 +163,13 @@ func TestLoadFileCorruptIsColdNotFatal(t *testing.T) {
 
 func TestUnmarshalMergesOntoExisting(t *testing.T) {
 	p := New(0, nil)
-	p.Observe("svc", time.Millisecond, 10, 5, false, "")
+	p.Observe("svc", time.Millisecond, 10, 5, false, false, "")
 	data, err := p.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
 	q := New(0, nil)
-	q.Observe("svc", time.Millisecond, 10, 5, false, "")
+	q.Observe("svc", time.Millisecond, 10, 5, false, false, "")
 	if err := q.Unmarshal(data); err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestUnmarshalMergesOntoExisting(t *testing.T) {
 
 func TestHandlerServesJSON(t *testing.T) {
 	p := New(0, nil)
-	p.Observe("svc", time.Millisecond, 10, 5, true, "")
+	p.Observe("svc", time.Millisecond, 10, 5, true, true, "")
 	rec := httptest.NewRecorder()
 	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats/services", nil))
 	if rec.Code != 200 {
@@ -205,8 +205,8 @@ func TestHandlerServesJSON(t *testing.T) {
 
 func TestWritePromLabeledSeries(t *testing.T) {
 	p := New(0, nil)
-	p.Observe("a", time.Millisecond, 10, 5, false, "transient")
-	p.Observe("b", time.Millisecond, 10, 5, false, "")
+	p.Observe("a", time.Millisecond, 10, 5, false, false, "transient")
+	p.Observe("b", time.Millisecond, 10, 5, false, false, "")
 	var sb strings.Builder
 	if err := p.writeProm(&sb); err != nil {
 		t.Fatal(err)
@@ -225,7 +225,7 @@ func TestWritePromLabeledSeries(t *testing.T) {
 
 func TestNilProfilerIsNoop(t *testing.T) {
 	var p *Profiler
-	p.Observe("svc", time.Millisecond, 1, 1, false, "")
+	p.Observe("svc", time.Millisecond, 1, 1, false, false, "")
 	p.ObserveCache("svc", service.CacheHit)
 	if p.Snapshot() != nil {
 		t.Fatal("nil snapshot")

@@ -30,6 +30,8 @@ func (p *Profiler) writeProm(w io.Writer) error {
 	}
 	counter("axml_service_calls_total", "Wire invocations per service (cache hits excluded).",
 		func(s ServiceProfile) uint64 { return s.Calls })
+	counter("axml_service_push_attempts_total", "Invocations that shipped a subquery.",
+		func(s ServiceProfile) uint64 { return s.PushAttempts })
 	counter("axml_service_pushed_total", "Invocations answered with pushed-query bindings.",
 		func(s ServiceProfile) uint64 { return s.Pushed })
 	counter("axml_service_bytes_total", "Response payload bytes per service.",

@@ -56,7 +56,8 @@ func (p *Profiler) Wrap(reg *service.Registry) *service.Registry {
 				if err != nil {
 					class = service.ClassOf(err).String()
 				}
-				p.Observe(name, lat, resp.Bytes, countNodes(resp.Forest), err == nil && resp.Pushed, class)
+				p.Observe(name, lat, resp.Bytes, countNodes(resp.Forest),
+					err == nil && pushed != nil, err == nil && resp.Pushed, class)
 				return resp, err
 			},
 		})

@@ -91,6 +91,9 @@ type Config struct {
 	// Engine is the evaluation template: strategy, layering, parallelism,
 	// retry and failure policy for every query. Per-query fields (Clock,
 	// Metrics, Tracer, OnMutate, Schema) are overridden by the manager.
+	// Engine.Planner is copied through verbatim, so one shared planner
+	// (plan.CostPlanner is safe for concurrent use) schedules every
+	// session's batches from the same learned profile.
 	Engine core.Options
 	// MaxActive bounds concurrently executing queries (admission tokens);
 	// 0 means GOMAXPROCS.

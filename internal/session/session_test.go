@@ -13,6 +13,7 @@ import (
 
 	"github.com/activexml/axml/internal/core"
 	"github.com/activexml/axml/internal/pattern"
+	"github.com/activexml/axml/internal/plan"
 	"github.com/activexml/axml/internal/repo"
 	"github.com/activexml/axml/internal/service"
 	"github.com/activexml/axml/internal/store"
@@ -752,5 +753,51 @@ func TestRepoBackedRestartOpensWarm(t *testing.T) {
 	}
 	if v := met2.Counter(telemetry.MetricGuideBuilds).Value(); v != 0 {
 		t.Fatalf("second incarnation built %d guides end to end; want 0", v)
+	}
+}
+
+// TestPlannerThreadsThroughSessions pins the Config.Engine.Planner
+// contract: the template is copied into every session's options, so one
+// shared cost planner schedules all tenants' batches — and, being a
+// pure reorder/resize layer, leaves every answer equal to the
+// planner-free serial oracle.
+func TestPlannerThreadsThroughSessions(t *testing.T) {
+	spec := suiteSpec()
+	engine := core.Options{Strategy: core.LazyNFQ, Layering: true, Parallel: true, InvokeWorkers: 4, Incremental: true}
+	oracleReg, oracleScenarios := workload.Suite(spec)
+	oracle := serialOracle(t, oracleReg, oracleScenarios, engine)
+
+	planner := plan.New(nil, plan.Options{})
+	engine.Planner = planner
+	m, scenarios, _ := newSuiteManager(t, Config{Engine: engine, MaxActive: 4}, spec)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for _, sc := range scenarios {
+		for _, qsrc := range sc.Queries {
+			for _, isolated := range []bool{false, true} {
+				wg.Add(1)
+				go func(sc workload.Scenario, qsrc string, isolated bool) {
+					defer wg.Done()
+					res, err := m.Query(context.Background(), Request{Document: sc.Name, Query: qsrc, Isolated: isolated})
+					if err != nil {
+						errs <- fmt.Errorf("%s %q isolated=%v: %w", sc.Name, qsrc, isolated, err)
+						return
+					}
+					if got, want := canon(res.Bindings), oracle[sc.Name+"|"+qsrc]; got != want {
+						errs <- fmt.Errorf("%s %q isolated=%v: planned session diverges from oracle:\n got %s\nwant %s",
+							sc.Name, qsrc, isolated, got, want)
+					}
+				}(sc, qsrc, isolated)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if planner.Stats().Batches == 0 {
+		t.Fatal("shared planner was never consulted — Engine.Planner did not thread through the session template")
 	}
 }

@@ -85,6 +85,20 @@ const (
 	MetricHTTPClientSeconds  = "axml_http_client_seconds"
 	MetricHTTPClientRetries  = "axml_http_client_retries_total"
 
+	// Cost-based invocation planner (internal/plan). Batches counts
+	// batches planned; Reorders counts batches whose execution schedule
+	// differs from static document-order striping; WidthTrims counts
+	// batches run below the requested pool width; PushVetoes counts
+	// calls whose subquery was withheld from a provably push-ignoring
+	// service; Deferred counts speculative calls pushed to a later
+	// round by the latency budget. Seconds is planning time itself.
+	MetricPlanBatches    = "axml_plan_batches_total"
+	MetricPlanReorders   = "axml_plan_reorders_total"
+	MetricPlanWidthTrims = "axml_plan_width_trims_total"
+	MetricPlanPushVetoes = "axml_plan_push_vetoes_total"
+	MetricPlanDeferred   = "axml_plan_speculative_deferred_total"
+	MetricPlanSeconds    = "axml_plan_seconds"
+
 	// Tracer ring evictions (Tracer.InstrumentDrops) — non-zero means
 	// /debug/trace and -explain are showing a truncated window.
 	MetricSpansDropped = "axml_spans_dropped_total"

@@ -80,6 +80,10 @@ type HotelSpec struct {
 	ExtrasPerCall int
 	// Latency is the simulated per-call round-trip.
 	Latency time.Duration
+	// ServiceLatency overrides Latency per service name, modelling a
+	// heterogeneous federation (one slow partner among fast ones) for
+	// scheduling experiments. Services absent from the map keep Latency.
+	ServiceLatency map[string]time.Duration
 	// PushCapable marks the services with extensional results (nearby
 	// restaurants, museums, extras, teasers, and ratings when unchained)
 	// as able to evaluate pushed queries. getHotels results always embed
@@ -289,18 +293,24 @@ func addrIndex(addr string) int {
 
 func buildRegistry(spec HotelSpec) *service.Registry {
 	reg := service.NewRegistry()
+	latencyFor := func(name string) time.Duration {
+		if l, ok := spec.ServiceLatency[name]; ok {
+			return l
+		}
+		return spec.Latency
+	}
 	// addExt registers a service with extensional results (eligible for
 	// query pushing); add registers one whose results embed calls.
 	addExt := func(name string, h service.Handler) {
 		reg.Register(&service.Service{
 			Name:    name,
-			Latency: spec.Latency,
+			Latency: latencyFor(name),
 			CanPush: spec.PushCapable,
 			Handler: h,
 		})
 	}
 	add := func(name string, h service.Handler) {
-		reg.Register(&service.Service{Name: name, Latency: spec.Latency, Handler: h})
+		reg.Register(&service.Service{Name: name, Latency: latencyFor(name), Handler: h})
 	}
 
 	addRating := add
